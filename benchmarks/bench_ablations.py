@@ -1,0 +1,54 @@
+"""Benchmarks: the countermeasure ablations DESIGN.md calls out.
+
+Each regenerates one design-choice study — route-flap damping,
+CIDR aggregation, route servers, timer jitter (self-synchronization),
+and keepalive priority (flap-storm containment) — printing the
+reproduced comparison and asserting its checks.  Run with::
+
+    pytest benchmarks/bench_ablations.py --benchmark-only
+"""
+
+from repro.experiments.ablations import (
+    run_aggregation_study,
+    run_cache_study,
+    run_convergence_study,
+    run_damping_study,
+    run_filter_study,
+    run_route_server_study,
+    run_storm_study,
+    run_synchronization_study,
+)
+
+from .conftest import run_and_verify
+
+
+def test_ablation_damping(benchmark):
+    run_and_verify(benchmark, run_damping_study)
+
+
+def test_ablation_aggregation(benchmark):
+    run_and_verify(benchmark, run_aggregation_study)
+
+
+def test_ablation_route_server(benchmark):
+    run_and_verify(benchmark, run_route_server_study)
+
+
+def test_ablation_synchronization(benchmark):
+    run_and_verify(benchmark, run_synchronization_study)
+
+
+def test_ablation_storm(benchmark):
+    run_and_verify(benchmark, run_storm_study)
+
+
+def test_ablation_cache(benchmark):
+    run_and_verify(benchmark, run_cache_study)
+
+
+def test_ablation_convergence(benchmark):
+    run_and_verify(benchmark, run_convergence_study)
+
+
+def test_ablation_filter(benchmark):
+    run_and_verify(benchmark, run_filter_study)

@@ -1,0 +1,15 @@
+"""Benchmark: the cross-exchange consistency claim (section 5).
+
+Prints the per-exchange classification profiles and asserts their
+similarity.  Run with::
+
+    pytest benchmarks/bench_crossexchange.py --benchmark-only
+"""
+
+from repro.experiments.crossexchange import run
+
+from .conftest import run_and_verify
+
+
+def test_crossexchange(benchmark):
+    run_and_verify(benchmark, run)

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 1 — the five measured exchange points.
+
+Prints the reproduced rows/series and asserts the shape checks against
+the paper's reported values.  Run with::
+
+    pytest benchmarks/bench_figure1.py --benchmark-only
+"""
+
+from repro.experiments.figure1 import run
+
+from .conftest import run_and_verify
+
+
+def test_figure1(benchmark):
+    run_and_verify(benchmark, run)

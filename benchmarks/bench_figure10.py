@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 10 — multi-homed prefix growth.
+
+Prints the reproduced rows/series and asserts the shape checks against
+the paper's reported values.  Run with::
+
+    pytest benchmarks/bench_figure10.py --benchmark-only
+"""
+
+from repro.experiments.figure10 import run
+
+from .conftest import run_and_verify
+
+
+def test_figure10(benchmark):
+    run_and_verify(benchmark, run)

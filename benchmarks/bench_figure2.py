@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 2 — monthly update breakdown by taxonomy category.
+
+Prints the reproduced rows/series and asserts the shape checks against
+the paper's reported values.  Run with::
+
+    pytest benchmarks/bench_figure2.py --benchmark-only
+"""
+
+from repro.experiments.figure2 import run
+
+from .conftest import run_and_verify
+
+
+def test_figure2(benchmark):
+    run_and_verify(benchmark, run)

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 3 — the 7-month instability density matrix.
+
+Prints the reproduced rows/series and asserts the shape checks against
+the paper's reported values.  Run with::
+
+    pytest benchmarks/bench_figure3.py --benchmark-only
+"""
+
+from repro.experiments.figure3 import run
+
+from .conftest import run_and_verify
+
+
+def test_figure3(benchmark):
+    run_and_verify(benchmark, run)

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 4 — a representative week of raw updates.
+
+Prints the reproduced rows/series and asserts the shape checks against
+the paper's reported values.  Run with::
+
+    pytest benchmarks/bench_figure4.py --benchmark-only
+"""
+
+from repro.experiments.figure4 import run
+
+from .conftest import run_and_verify
+
+
+def test_figure4(benchmark):
+    run_and_verify(benchmark, run)

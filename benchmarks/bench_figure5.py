@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 5 — FFT/MEM/SSA spectral analysis of the update rate.
+
+Prints the reproduced rows/series and asserts the shape checks against
+the paper's reported values.  Run with::
+
+    pytest benchmarks/bench_figure5.py --benchmark-only
+"""
+
+from repro.experiments.figure5 import run
+
+from .conftest import run_and_verify
+
+
+def test_figure5(benchmark):
+    run_and_verify(benchmark, run)

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 6 — AS contribution vs routing-table share.
+
+Prints the reproduced rows/series and asserts the shape checks against
+the paper's reported values.  Run with::
+
+    pytest benchmarks/bench_figure6.py --benchmark-only
+"""
+
+from repro.experiments.figure6 import run
+
+from .conftest import run_and_verify
+
+
+def test_figure6(benchmark):
+    run_and_verify(benchmark, run)

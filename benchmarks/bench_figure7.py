@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 7 — cumulative Prefix+AS update distributions.
+
+Prints the reproduced rows/series and asserts the shape checks against
+the paper's reported values.  Run with::
+
+    pytest benchmarks/bench_figure7.py --benchmark-only
+"""
+
+from repro.experiments.figure7 import run
+
+from .conftest import run_and_verify
+
+
+def test_figure7(benchmark):
+    run_and_verify(benchmark, run)

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 8 — inter-arrival histograms and the 30/60s periodicity.
+
+Prints the reproduced rows/series and asserts the shape checks against
+the paper's reported values.  Run with::
+
+    pytest benchmarks/bench_figure8.py --benchmark-only
+"""
+
+from repro.experiments.figure8 import run
+
+from .conftest import run_and_verify
+
+
+def test_figure8(benchmark):
+    run_and_verify(benchmark, run)

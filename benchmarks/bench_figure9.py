@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 9 — proportion of routes affected per day.
+
+Prints the reproduced rows/series and asserts the shape checks against
+the paper's reported values.  Run with::
+
+    pytest benchmarks/bench_figure9.py --benchmark-only
+"""
+
+from repro.experiments.figure9 import run
+
+from .conftest import run_and_verify
+
+
+def test_figure9(benchmark):
+    run_and_verify(benchmark, run)

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Section 4 — headline pathology magnitudes.
+
+Prints the reproduced rows/series and asserts the shape checks against
+the paper's reported values.  Run with::
+
+    pytest benchmarks/bench_pathology.py --benchmark-only
+"""
+
+from repro.experiments.pathology import run
+
+from .conftest import run_and_verify
+
+
+def test_pathology(benchmark):
+    run_and_verify(benchmark, run)

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 1 — per-ISP announce/withdraw/unique totals at a simulated AADS.
+
+Prints the reproduced rows/series and asserts the shape checks against
+the paper's reported values.  Run with::
+
+    pytest benchmarks/bench_table1.py --benchmark-only
+"""
+
+from repro.experiments.table1 import run
+
+from .conftest import run_and_verify
+
+
+def test_table1(benchmark):
+    run_and_verify(benchmark, run)

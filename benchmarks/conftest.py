@@ -1,0 +1,28 @@
+"""Shared benchmark plumbing.
+
+Each benchmark runs its experiment once through pytest-benchmark's
+pedantic mode (the experiments are seconds-to-minutes of simulation;
+statistical repetition would add nothing but wall-clock), prints the
+experiment's full report — the same rows/series the paper presents —
+and asserts every paper-expectation check passes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_and_verify(benchmark, runner, **kwargs):
+    """Benchmark ``runner`` once, print its report, assert its checks."""
+    result = benchmark.pedantic(
+        lambda: runner(**kwargs), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    failures = {
+        name: (result.measurements[name], result.expectations[name])
+        for name, ok in result.all_checks().items()
+        if not ok
+    }
+    assert not failures, f"paper-expectation mismatches: {failures}"
+    return result

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Route-flap damping: the cure and its side effect.
+
+§3 of the paper: damping "hold[s] down, or refuse[s] to believe,
+updates about routes that exceed certain parameters of instability"
+but "can introduce artificial connectivity problems, as 'legitimate'
+announcements about a new network may be delayed due to earlier
+dampened instability."
+
+This example drives the RFC 2439 implementation directly: a route
+flaps hard, gets suppressed, then comes up for good — and we watch how
+long the damper keeps the now-healthy route invisible.
+
+Run:  python examples/damping_study.py
+"""
+
+from repro.bgp.damping import DampingParameters, RouteFlapDamper
+from repro.net.prefix import Prefix
+
+
+def main() -> None:
+    params = DampingParameters()  # classic Cisco defaults
+    damper = RouteFlapDamper(params)
+    prefix = Prefix.parse("192.0.2.0/24")
+    peer = 1
+
+    print("RFC 2439 parameters:")
+    print(f"  withdrawal penalty:  {params.withdrawal_penalty:.0f}")
+    print(f"  suppress threshold:  {params.suppress_threshold:.0f}")
+    print(f"  reuse threshold:     {params.reuse_threshold:.0f}")
+    print(f"  half life:           {params.half_life / 60:.0f} min")
+    print(f"  max suppress time:   {params.max_suppress_time / 60:.0f} min")
+    print()
+
+    # Phase 1: the route flaps once a minute for five minutes.
+    print("Phase 1 - a flapping route (one withdrawal per minute):")
+    now = 0.0
+    for i in range(5):
+        now = i * 60.0
+        suppressed = damper.on_withdrawal(prefix, peer, now)
+        penalty = damper.penalty(prefix, peer, now)
+        state = "SUPPRESSED" if suppressed else "announced "
+        print(f"  t={now:5.0f}s  flap #{i + 1}  penalty={penalty:7.0f}  {state}")
+    print()
+
+    # Phase 2: the route stabilizes; when does it become usable again?
+    print("Phase 2 - the route is now healthy; time until reuse:")
+    wait = damper.time_until_reuse(prefix, peer, now)
+    print(f"  the damper will ignore it for another {wait / 60:.1f} minutes")
+    probe = now
+    while damper.is_suppressed(prefix, peer, probe):
+        probe += 60.0
+    print(f"  first usable re-announcement at t={probe / 60:.0f} min")
+    print()
+
+    # Phase 3: contrast with a route that flapped slowly.
+    slow = Prefix.parse("198.51.100.0/24")
+    for i in range(5):
+        assert not damper.on_withdrawal(slow, peer, i * 2 * params.half_life)
+    print(
+        "A route flapping once per two half-lives never accumulates "
+        "enough penalty to be suppressed - damping only punishes "
+        "*rapid* oscillation."
+    )
+
+
+if __name__ == "__main__":
+    main()

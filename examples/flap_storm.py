@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Route-flap storms: ignite one, then contain it.
+
+Reproduces §3's storm narrative end-to-end: a mesh of CPU-limited
+routers absorbs a burst of customer flaps; the busiest router's
+keepalives queue behind update processing; peers' hold timers expire;
+sessions drop; re-peering table dumps add load; the failure cascades.
+Then the same burst is replayed against routers that prioritize BGP
+keepalives — the fix "the latest generation of routers" shipped — and
+the storm never ignites.
+
+Run:  python examples/flap_storm.py
+"""
+
+from repro.sim.flapstorm import FlapStormScenario
+from repro.sim.router import CpuModel
+
+
+def run_one(keepalive_priority: bool):
+    scenario = FlapStormScenario(
+        n_routers=5,
+        prefixes_per_router=40,
+        cpu=CpuModel(per_update=0.1, per_sent_update=0.05,
+                     per_dump_route=0.05),
+        hold_time=30.0,
+        keepalive_priority=keepalive_priority,
+        seed=1,
+    )
+    result = scenario.run_storm(flaps=600, over_seconds=20.0)
+    return scenario, result
+
+
+def main() -> None:
+    print("=== 1968-class CPUs, FIFO keepalive handling ===")
+    scenario, storm = run_one(keepalive_priority=False)
+    print(f"  session drops during storm: {storm.session_drops}")
+    print(f"  updates transmitted:        {storm.total_updates_sent:,}")
+    print(f"  router crashes:             {storm.crashes}")
+    if storm.drop_times:
+        first, last = storm.drop_times[0], storm.drop_times[-1]
+        print(
+            f"  cascade window:             {last - first:.0f}s "
+            f"({len(storm.drop_times)} session losses)"
+        )
+    print()
+    print("=== same burst, keepalives prioritized over updates ===")
+    _, calm = run_one(keepalive_priority=True)
+    print(f"  session drops during storm: {calm.session_drops}")
+    print(f"  updates transmitted:        {calm.total_updates_sent:,}")
+    print()
+    factor = storm.session_drops / max(1, calm.session_drops)
+    print(
+        f"Keepalive priority reduced session losses by {factor:.0f}x — "
+        "the architectural fix the paper reports vendors shipping."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Spectral analysis of a simulated instability campaign (Figure 5).
+
+Generates two months of hourly update aggregates with the calibrated
+statistical generator, log-detrends them as the paper does (following
+Bloomfield), and runs all three of the paper's estimators — the FFT
+correlogram, Burg maximum-entropy estimation, and singular spectrum
+analysis — printing the frequencies each finds.  The daily (24 h) and
+weekly (168 h) lines should appear in all three, cross-validating the
+methods exactly as Figure 5 argues.
+
+Run:  python examples/spectral_analysis.py
+"""
+
+import numpy as np
+
+from repro.analysis.mem import mem_psd
+from repro.analysis.spectral import correlogram_psd, dominant_periods
+from repro.analysis.ssa import significant_frequencies
+from repro.analysis.timeseries import aggregate_bins, log_detrend
+from repro.core.taxonomy import INSTABILITY_CATEGORIES
+from repro.workloads.generator import TraceGenerator
+
+
+def main() -> None:
+    print("Generating August-September hourly instability aggregates...")
+    generator = TraceGenerator(seed=3)
+    days = range(153, 214)
+    series = generator.campaign_bin_series(
+        days, tuple(INSTABILITY_CATEGORIES)
+    )
+    combined = np.zeros(len(days) * 144)
+    for counts in series.values():
+        combined += np.asarray(counts, dtype=float)
+    hourly = aggregate_bins(combined, 6)
+    print(
+        f"  {len(hourly)} hourly samples, mean {hourly.mean():.0f} "
+        f"updates/hour, peak {hourly.max():.0f}"
+    )
+    detrended = log_detrend(hourly)
+    print("  log-detrended (Bloomfield-style), residual std "
+          f"{detrended.std():.3f}")
+    print()
+
+    print("FFT correlogram (Blackman-Tukey) peaks:")
+    freqs, power = correlogram_psd(detrended, max_lag=600, n_freq=1024)
+    for peak in dominant_periods(freqs, power, n_peaks=5):
+        print(f"  period {peak.period:7.1f} h   power {peak.power:8.2f}")
+    print()
+
+    print("Maximum-entropy (Burg, order 40) peaks:")
+    freqs, power = mem_psd(detrended, order=40)
+    for peak in dominant_periods(freqs, power, n_peaks=5):
+        print(f"  period {peak.period:7.1f} h   power {peak.power:8.2f}")
+    print()
+
+    print("SSA significant frequencies (99% white-noise interval):")
+    for component in significant_frequencies(detrended, window=240, seed=3):
+        print(
+            f"  #{component.index + 1}: period {component.period:7.1f} h  "
+            f"variance share {component.variance_share:.3f}"
+        )
+    print()
+    print(
+        "The paper's Figure 5: both spectra show significant "
+        "frequencies at 24 hours and 7 days; SSA's top five lines are "
+        "two weekly and three daily components."
+    )
+
+
+if __name__ == "__main__":
+    main()

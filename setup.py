@@ -1,0 +1,10 @@
+"""Legacy setup shim so editable installs work without network access.
+
+All project metadata lives in pyproject.toml; this file only exists so
+``pip install -e .`` can use the legacy ``setup.py develop`` path in
+offline environments lacking the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,261 @@
+"""Command-line interface: run reproduction experiments and tooling.
+
+Usage::
+
+    python -m repro list                 # list experiment ids
+    python -m repro run figure8          # run one, print its report
+    python -m repro run all              # run everything
+    python -m repro report -o EXPERIMENTS.md   # regenerate the
+                                               # paper-vs-measured index
+    python -m repro simulate -o day.mrt --hours 2   # simulate an
+                                               # exchange, write an
+                                               # RFC 6396 MRT archive
+    python -m repro classify day.mrt     # classify an archive and
+                                               # print the taxonomy
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .core.report import ExperimentResult, format_number
+from .experiments import EXPERIMENTS, experiment_ids, run_experiment
+
+#: Paper context shown in the generated report, per experiment.
+_PAPER_CONTEXT = {
+    "table1": "Most ISPs withdraw >>10x what they announce; ISP-I: 259 "
+              "announced / 2,479,023 withdrawn / 14,112 unique prefixes.",
+    "figure1": "Five U.S. exchange points; Mae-East largest (60+ providers, "
+               "route servers peer with >90%).",
+    "figure2": "AADup and WADup consistently dominate the non-WWDup "
+               "update mix, April-September.",
+    "figure3": "Diurnal + weekend structure; late-May upgrade lines; 10am "
+               "maintenance line; threshold 345->770 per 10-min bin.",
+    "figure4": "Bell-shaped weekday curves, quiet weekends, a localized "
+               "Saturday spike (Aug 3-9, 1996).",
+    "figure5": "FFT and MEM spectra agree on significant frequencies at "
+               "24 hours and 7 days; SSA's top five lines confirm.",
+    "figure6": "Update share uncorrelated with routing-table share; no "
+               "consistent dominator AS in any category.",
+    "figure7": "80-100% of daily instability from Prefix+AS pairs seen "
+               "<50 times; WADiff plateaus fastest; Aug-11 dominator day.",
+    "figure8": "30-second and 1-minute bins hold ~half the inter-arrival "
+               "mass in every category.",
+    "figure9": "3-10% of routes see a WADiff per day, 5-20% an AADiff; "
+               "35-100% (median 50%) see some update; >80% stable.",
+    "figure10": "Multi-homed prefixes grow ~linearly April-December; "
+                ">25% of prefixes multi-homed; late-May spike; data gap.",
+    "pathology": "3-6M updates/day vs 42k prefixes; 0.5-6M WWDups/day; "
+                 "~99% pathological; stateless fix: 2M -> 1905 "
+                 "withdrawals; 300 updates/s crashes a router.",
+    "ablation-damping": "Damping suppresses flap updates but delays "
+                        "legitimate re-announcements (section 3).",
+    "ablation-aggregation": "Aggregation hides customer instability "
+                            "inside supernets (sections 3, 4.1).",
+    "ablation-routeserver": "Route servers reduce O(N^2) bilateral "
+                            "sessions to O(N) (section 3).",
+    "ablation-sync": "Unjittered periodic timers self-synchronize "
+                     "(Floyd-Jacobson; section 4.2).",
+    "ablation-storm": "Keepalive prioritization contains route-flap "
+                      "storms (section 3).",
+    "crossexchange": "Results at one exchange are representative of "
+                     "the others - same category mix, different "
+                     "volumes (section 5).",
+    "ablation-cache": "Instability churns route caches, causing misses "
+                      "and packet loss; full-table forwarding hardware "
+                      "is churn-immune (section 3).",
+    "ablation-filter": "Filtering long prefixes trades away multi-homed\n"
+                       "reachability for stability (section 3).",
+    "ablation-convergence": "Instability delays network convergence; "
+                            "the MRAI setting trades update volume "
+                            "against settle time (sections 1, 6).",
+}
+
+
+def _render_markdown(name: str, result: ExperimentResult, elapsed: float) -> str:
+    lines = [f"## {name}: {result.description}", ""]
+    context = _PAPER_CONTEXT.get(name)
+    if context:
+        lines.append(f"**Paper:** {context}")
+        lines.append("")
+    if result.expectations:
+        lines.append("| measurement | measured | paper expectation | status |")
+        lines.append("|---|---|---|---|")
+        for key, value in result.measurements.items():
+            expected = result.expectations.get(key)
+            if expected is None:
+                continue
+            if isinstance(expected, tuple):
+                expect_text = (
+                    f"{format_number(expected[0])} .. "
+                    f"{format_number(expected[1])}"
+                )
+            else:
+                expect_text = format_number(expected)
+            status = "ok" if result.check(key) else "**MISMATCH**"
+            lines.append(
+                f"| {key} | {format_number(value)} | {expect_text} "
+                f"| {status} |"
+            )
+        lines.append("")
+    for note in result.notes:
+        lines.append(f"*{note}*")
+        lines.append("")
+    lines.append(f"(runtime: {elapsed:.1f}s; regenerate with "
+                 f"`pytest benchmarks/bench_{name.replace('-', '_') if name.startswith('ablation') else name}.py --benchmark-only` "
+                 f"or `python -m repro run {name}`)")
+    lines.append("")
+    return "\n".join(lines)
+
+
+_REPORT_HEADER = """\
+# EXPERIMENTS — paper vs. measured
+
+Generated by ``python -m repro report``.  Every table and figure of
+*Internet Routing Instability* (Labovitz, Malan, Jahanian; SIGCOMM
+1997) has a runner in ``repro.experiments`` and a benchmark in
+``benchmarks/``; this file records the shape comparison between the
+paper's reported values and what the reproduction measures.
+
+Absolute volumes marked "scaled" come from event simulations run for
+hours rather than days and tables of tens of prefixes rather than
+42,000 — per DESIGN.md, the reproduction target for those experiments
+is the *structure* (ratios, orderings, periodicities, distribution
+shapes), not raw counts.  The statistical tier (figures 2-9) is
+calibrated to the paper's absolute magnitudes and is compared directly.
+
+"""
+
+
+def cmd_list() -> int:
+    for name in experiment_ids():
+        print(name)
+    return 0
+
+
+def cmd_run(names) -> int:
+    if names == ["all"]:
+        names = experiment_ids()
+    status = 0
+    for name in names:
+        started = time.time()
+        result = run_experiment(name)
+        print(result.render())
+        print(f"[{name} finished in {time.time() - started:.1f}s]")
+        print()
+        if not all(result.all_checks().values()):
+            status = 1
+    return status
+
+
+def cmd_report(output: str) -> int:
+    sections = [_REPORT_HEADER]
+    status = 0
+    for name in experiment_ids():
+        started = time.time()
+        print(f"running {name}...", file=sys.stderr, flush=True)
+        result = run_experiment(name)
+        elapsed = time.time() - started
+        sections.append(_render_markdown(name, result, elapsed))
+        if not all(result.all_checks().values()):
+            status = 1
+    text = "\n".join(sections)
+    with open(output, "w") as f:
+        f.write(text)
+    print(f"wrote {output}", file=sys.stderr)
+    return status
+
+
+def cmd_simulate(output: str, hours: float, seed: int) -> int:
+    """Run the Table-1-style exchange scenario and archive the updates
+    the route server logged, in standard RFC 6396 BGP4MP format."""
+    from .collector.mrt_rfc import write_bgp4mp
+    from .experiments import table1
+
+    print(
+        f"simulating {hours:.1f} hours at the exchange "
+        f"(seed {seed})...", file=sys.stderr,
+    )
+    # Reuse the Table 1 scenario machinery but capture the sink.
+    import repro.experiments.table1 as table1_module
+
+    sink_holder = {}
+    original_memlog = table1_module.MemoryLog
+
+    class _CapturingLog(original_memlog):
+        def __init__(self):
+            super().__init__()
+            sink_holder["sink"] = self
+
+    table1_module.MemoryLog = _CapturingLog
+    try:
+        table1_module.run(duration=hours * 3600.0, seed=seed)
+    finally:
+        table1_module.MemoryLog = original_memlog
+    records = sink_holder["sink"].sorted_by_time()
+    with open(output, "wb") as stream:
+        count = write_bgp4mp(stream, records)
+    print(f"wrote {count} updates to {output}", file=sys.stderr)
+    return 0
+
+
+def cmd_classify(path: str) -> int:
+    """Read an RFC 6396 BGP4MP archive, classify it, print the
+    taxonomy breakdown — the library as a bgpdump-style tool."""
+    from .collector.mrt_rfc import read_bgp4mp
+    from .core.classifier import classify
+    from .core.instability import CategoryCounts
+
+    counts = CategoryCounts()
+    with open(path, "rb") as stream:
+        for update in classify(read_bgp4mp(stream)):
+            counts.add(update)
+    print(f"{path}: {counts.total} updates")
+    for name, value in counts.as_dict().items():
+        if value:
+            share = value / counts.total
+            print(f"  {name:15s} {value:10,d}  ({share:6.1%})")
+    print(f"  {'instability':15s} {counts.instability:10,d}")
+    print(f"  {'pathological':15s} {counts.pathological:10,d}  "
+          f"({counts.pathological_fraction:6.1%})")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment ids")
+    run_parser = sub.add_parser("run", help="run experiments")
+    run_parser.add_argument("names", nargs="+", help="ids, or 'all'")
+    report_parser = sub.add_parser(
+        "report", help="run everything, write the markdown index"
+    )
+    report_parser.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    sim_parser = sub.add_parser(
+        "simulate", help="simulate an exchange day, write an MRT archive"
+    )
+    sim_parser.add_argument("-o", "--output", default="exchange.mrt")
+    sim_parser.add_argument("--hours", type=float, default=1.0)
+    sim_parser.add_argument("--seed", type=int, default=7)
+    classify_parser = sub.add_parser(
+        "classify", help="classify an RFC 6396 BGP4MP archive"
+    )
+    classify_parser.add_argument("path")
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "run":
+        return cmd_run(args.names)
+    if args.command == "simulate":
+        return cmd_simulate(args.output, args.hours, args.seed)
+    if args.command == "classify":
+        return cmd_classify(args.path)
+    return cmd_report(args.output)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Maximum-entropy (Burg) spectral estimation (Figure 5's second method).
+
+Figure 5a overlays "maximum-entropy (MEM) spectral estimation" on the
+FFT correlogram: "These two approaches differ in their estimation
+methods, and provide a mechanism for validation of results."  This is
+Burg's algorithm: fit an order-``p`` autoregressive model by
+minimizing forward+backward prediction error, then evaluate the AR
+model's spectrum
+
+    P(f) = σ² / |1 + Σ a_k e^{-2πikf}|².
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["burg", "mem_psd"]
+
+
+def burg(series: Sequence[float], order: int) -> Tuple[np.ndarray, float]:
+    """Burg's method: AR coefficients ``a`` (length ``order``) and the
+    white-noise variance σ².
+
+    The model convention is ``x_t = -Σ a_k x_{t-k} + e_t`` (so the
+    spectrum denominator is ``|1 + Σ a_k z^-k|²``).
+    """
+    x = np.asarray(series, dtype=float)
+    n = x.size
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    if n <= order:
+        raise ValueError(f"series length {n} too short for order {order}")
+    x = x - x.mean()
+    forward = x[1:].copy()
+    backward = x[:-1].copy()
+    a = np.zeros(order)
+    error = float(np.dot(x, x)) / n
+    for m in range(order):
+        numerator = -2.0 * np.dot(forward, backward)
+        denominator = np.dot(forward, forward) + np.dot(backward, backward)
+        k = 0.0 if denominator == 0.0 else numerator / denominator
+        # Levinson update of the AR coefficients.
+        new_a = a.copy()
+        new_a[m] = k
+        for i in range(m):
+            new_a[i] = a[i] + k * a[m - 1 - i]
+        a = new_a
+        error *= 1.0 - k * k
+        if m < order - 1:
+            new_forward = forward[1:] + k * backward[1:]
+            new_backward = backward[:-1] + k * forward[:-1]
+            forward, backward = new_forward, new_backward
+    return a, max(error, 1e-300)
+
+
+def mem_psd(
+    series: Sequence[float],
+    order: int = None,
+    n_freq: int = 512,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Maximum-entropy PSD via Burg AR fitting.
+
+    ``order`` defaults to ``min(n // 3, 40)`` — enough poles to resolve
+    the daily and weekly lines in a two-month hourly series without
+    splitting peaks.  Returns ``(frequencies, power)`` with frequency
+    in cycles per sample, like :func:`repro.analysis.spectral.
+    correlogram_psd`.
+    """
+    x = np.asarray(series, dtype=float)
+    if order is None:
+        order = max(2, min(x.size // 3, 40))
+    a, variance = burg(x, order)
+    freqs = np.linspace(0.0, 0.5, n_freq)
+    k = np.arange(1, order + 1)
+    # Denominator |1 + sum a_k exp(-2pi i f k)|^2 per frequency.
+    phases = np.exp(-2j * np.pi * np.outer(freqs, k))
+    denominator = np.abs(1.0 + phases @ a) ** 2
+    power = variance / np.maximum(denominator, 1e-300)
+    return freqs, power

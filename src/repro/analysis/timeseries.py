@@ -1,0 +1,103 @@
+"""Time-series preparation: aggregation and log-detrending.
+
+Section 5.1's treatment (following Bloomfield's handling of the
+Beveridge wheat prices): the update rate is modelled as ``x_t = T_t *
+I_t`` with a trend and an oscillating term, so ``log x_t = log T_t +
+log I_t``; the trend is removed with a least-squares line on the
+logarithm, leaving ``log I_t`` oscillating about zero.  "This avoids
+adding frequency biases that can be introduced due to linear
+filtering."
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..collector.record import UpdateRecord
+from ..collector.store import SECONDS_PER_DAY
+
+__all__ = [
+    "bin_records",
+    "aggregate_bins",
+    "log_detrend",
+    "linear_fit",
+    "threshold_above_mean",
+]
+
+
+def bin_records(
+    records: Iterable[UpdateRecord],
+    bin_width: float = 600.0,
+    start: float = 0.0,
+    end: float = None,
+) -> np.ndarray:
+    """Count records into fixed-width time bins.
+
+    ``end`` defaults to the latest record (rounded up to a whole bin).
+    Returns an integer array of per-bin counts.
+    """
+    times = np.fromiter((r.time for r in records), dtype=float)
+    if times.size == 0:
+        return np.zeros(0, dtype=int)
+    if end is None:
+        end = times.max() + bin_width
+    n_bins = max(1, int(np.ceil((end - start) / bin_width)))
+    indices = ((times - start) // bin_width).astype(int)
+    valid = (indices >= 0) & (indices < n_bins)
+    return np.bincount(indices[valid], minlength=n_bins)
+
+
+def aggregate_bins(counts: Sequence[int], factor: int) -> np.ndarray:
+    """Re-aggregate fine bins into coarser ones (e.g. 10-min → hourly
+    with ``factor=6``).  A ragged tail is dropped."""
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    array = np.asarray(counts)
+    usable = (len(array) // factor) * factor
+    return array[:usable].reshape(-1, factor).sum(axis=1)
+
+
+def linear_fit(values: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares ``(slope, intercept)`` of values against index."""
+    y = np.asarray(values, dtype=float)
+    if y.size == 0:
+        return (0.0, 0.0)
+    x = np.arange(y.size, dtype=float)
+    slope, intercept = np.polyfit(x, y, 1)
+    return float(slope), float(intercept)
+
+
+def log_detrend(
+    counts: Sequence[float], floor: float = 1.0
+) -> np.ndarray:
+    """The paper's detrending: log-transform, subtract the LSQ line.
+
+    Zero bins are floored at ``floor`` before the log (the paper's
+    plots treat empty bins as minimal activity).  The result oscillates
+    about zero.
+    """
+    array = np.maximum(np.asarray(counts, dtype=float), floor)
+    logged = np.log(array)
+    slope, intercept = linear_fit(logged)
+    trend = slope * np.arange(logged.size) + intercept
+    return logged - trend
+
+
+def threshold_above_mean(
+    detrended: Sequence[float], offset_std: float = 0.5
+) -> float:
+    """Figure 3's threshold: "a point above the mean of the detrended
+    data" — mean plus ``offset_std`` standard deviations."""
+    array = np.asarray(detrended, dtype=float)
+    if array.size == 0:
+        return 0.0
+    return float(array.mean() + offset_std * array.std())
+
+
+def daily_totals(
+    counts: Sequence[int], bins_per_day: int = 144
+) -> np.ndarray:
+    """Collapse per-bin counts into per-day totals."""
+    return aggregate_bins(counts, bins_per_day)

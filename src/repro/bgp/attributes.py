@@ -1,0 +1,211 @@
+"""BGP path attributes.
+
+The paper's classification taxonomy keys on the ``(Prefix, NextHop,
+ASPATH)`` tuple: changes there are *forwarding* instability, while
+changes confined to the remaining attributes (MED, LOCAL_PREF,
+communities, ...) are *policy fluctuation*.  This module defines the
+attribute model both the simulator's routers and the classifier share.
+
+:class:`AsPath` is an immutable sequence of AS numbers with the loop
+check BGP performs on every received update; :class:`PathAttributes`
+bundles a route's full attribute set and exposes the paper's
+``forwarding_key`` / full-tuple distinction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import IntEnum
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+__all__ = [
+    "AsPath",
+    "Origin",
+    "PathAttributes",
+    "WELL_KNOWN_COMMUNITIES",
+]
+
+
+class Origin(IntEnum):
+    """BGP ORIGIN attribute codes (RFC 4271 §4.3)."""
+
+    IGP = 0
+    EGP = 1
+    INCOMPLETE = 2
+
+
+class AsPath(tuple):
+    """An immutable ASPATH: the sequence of ASes a route traversed.
+
+    The leftmost element is the most recent AS (the neighbor that sent the
+    route); the rightmost is the origin AS.  Only AS_SEQUENCE segments are
+    modelled — AS_SET aggregation segments are beyond what the paper's
+    analysis needs, and every simulated update carries a plain sequence.
+
+    Examples
+    --------
+    >>> path = AsPath((701, 1239, 3561))
+    >>> path.origin_as
+    3561
+    >>> path.prepend(174)
+    AsPath(174 701 1239 3561)
+    >>> path.contains_loop(1239)
+    True
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, asns: Iterable[int] = ()) -> "AsPath":
+        asns = tuple(asns)
+        for asn in asns:
+            if not isinstance(asn, int) or not 0 < asn < 65536:
+                raise ValueError(f"invalid AS number {asn!r}")
+        return tuple.__new__(cls, asns)
+
+    @property
+    def origin_as(self) -> Optional[int]:
+        """The AS that originated the route (rightmost), or None if empty."""
+        return self[-1] if self else None
+
+    @property
+    def neighbor_as(self) -> Optional[int]:
+        """The AS the route was most recently received from (leftmost)."""
+        return self[0] if self else None
+
+    def prepend(self, asn: int, count: int = 1) -> "AsPath":
+        """A new path with ``asn`` prepended ``count`` times.
+
+        This is what a border router does before exporting a route to an
+        external peer; ``count > 1`` models ASPATH-prepending traffic
+        engineering.
+        """
+        if count < 1:
+            raise ValueError("prepend count must be >= 1")
+        return AsPath((asn,) * count + tuple(self))
+
+    def contains_loop(self, asn: int) -> bool:
+        """True if ``asn`` already appears — the BGP loop-detection test.
+
+        Every BGP router applies this to incoming updates; the paper
+        notes the check is defeated when ASPATH is lost across an
+        IGP redistribution boundary (§4.2).
+        """
+        return asn in self
+
+    @property
+    def hop_count(self) -> int:
+        """Path length counting repeated (prepended) ASes."""
+        return len(self)
+
+    @property
+    def unique_ases(self) -> FrozenSet[int]:
+        """The distinct ASes on the path."""
+        return frozenset(self)
+
+    def __repr__(self) -> str:
+        return f"AsPath({' '.join(str(a) for a in self)})"
+
+    def __str__(self) -> str:
+        return " ".join(str(a) for a in self)
+
+    @classmethod
+    def parse(cls, text: str) -> "AsPath":
+        """Parse a space-separated ASPATH string like ``"701 1239 3561"``."""
+        text = text.strip()
+        if not text:
+            return cls()
+        return cls(int(tok) for tok in text.split())
+
+
+#: Well-known community values (RFC 1997).
+WELL_KNOWN_COMMUNITIES = {
+    "NO_EXPORT": 0xFFFFFF01,
+    "NO_ADVERTISE": 0xFFFFFF02,
+    "NO_EXPORT_SUBCONFED": 0xFFFFFF03,
+}
+
+
+@dataclass(frozen=True)
+class PathAttributes:
+    """The attribute set accompanying one route announcement.
+
+    ``next_hop`` is the 32-bit address of the border router to forward
+    through.  ``med`` and ``local_pref`` are optional metrics;
+    ``communities`` is a frozenset of 32-bit community values.
+
+    The paper's key analytical move is splitting this bundle in two:
+
+    - :attr:`forwarding_key` — ``(next_hop, as_path)``; together with the
+      prefix this is the tuple whose change constitutes *forwarding
+      instability*.
+    - everything else — changes only here are *policy fluctuation*.
+    """
+
+    as_path: AsPath = field(default_factory=AsPath)
+    next_hop: int = 0
+    origin: Origin = Origin.IGP
+    med: Optional[int] = None
+    local_pref: Optional[int] = None
+    communities: FrozenSet[int] = frozenset()
+    atomic_aggregate: bool = False
+    aggregator: Optional[Tuple[int, int]] = None  # (asn, router-id)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.as_path, AsPath):
+            object.__setattr__(self, "as_path", AsPath(self.as_path))
+        if not isinstance(self.communities, frozenset):
+            object.__setattr__(
+                self, "communities", frozenset(self.communities)
+            )
+
+    @property
+    def forwarding_key(self) -> Tuple[int, AsPath]:
+        """The (NextHop, ASPATH) part of the paper's forwarding tuple."""
+        return (self.next_hop, self.as_path)
+
+    def same_forwarding(self, other: "PathAttributes") -> bool:
+        """True if ``other`` would forward traffic identically.
+
+        This is the equality the classifier uses to tell AADup (identical
+        forwarding tuple → pathological duplicate) from AADiff (changed
+        tuple → forwarding instability).
+        """
+        return self.forwarding_key == other.forwarding_key
+
+    def with_next_hop(self, next_hop: int) -> "PathAttributes":
+        """Copy with a replaced NEXT_HOP (set at each eBGP export)."""
+        return replace(self, next_hop=next_hop)
+
+    def exported_by(self, asn: int, next_hop: int, prepend: int = 1) -> "PathAttributes":
+        """The attributes a border router of ``asn`` sends an external peer.
+
+        Prepends the local AS, rewrites NEXT_HOP, and strips the
+        non-transitive LOCAL_PREF — the standard eBGP export transform.
+        """
+        return replace(
+            self,
+            as_path=self.as_path.prepend(asn, prepend),
+            next_hop=next_hop,
+            local_pref=None,
+        )
+
+    def with_communities(self, *communities: int) -> "PathAttributes":
+        """Copy with additional community values attached."""
+        return replace(
+            self, communities=self.communities | frozenset(communities)
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable rendering (used by example scripts)."""
+        parts = [f"aspath=[{self.as_path}]", f"nexthop={self.next_hop:#010x}"]
+        if self.med is not None:
+            parts.append(f"med={self.med}")
+        if self.local_pref is not None:
+            parts.append(f"localpref={self.local_pref}")
+        if self.communities:
+            parts.append(
+                "communities={" + ",".join(
+                    f"{c:#x}" for c in sorted(self.communities)
+                ) + "}"
+            )
+        return " ".join(parts)

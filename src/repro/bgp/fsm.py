@@ -1,0 +1,144 @@
+"""The BGP session finite-state machine (RFC 4271 §8, simplified).
+
+The flap-storm dynamics the paper describes are FSM dynamics: an
+overloaded router's keepalives are delayed, its peers' hold timers
+expire, sessions fall out of Established, routes are withdrawn, and the
+subsequent re-establishment triggers full table dumps.  This module
+models the state machine those transitions run through.
+
+States: Idle → Connect → OpenSent → OpenConfirm → Established, with
+any error collapsing back to Idle.  (Active is folded into Connect; the
+TCP-level distinction between them does not affect any behaviour the
+reproduction measures.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import List, Optional
+
+__all__ = ["SessionState", "FsmEvent", "BgpStateMachine", "Transition"]
+
+
+class SessionState(Enum):
+    """BGP FSM states."""
+
+    IDLE = auto()
+    CONNECT = auto()
+    OPEN_SENT = auto()
+    OPEN_CONFIRM = auto()
+    ESTABLISHED = auto()
+
+
+class FsmEvent(Enum):
+    """Inputs to the FSM (RFC 4271 event numbers noted where standard)."""
+
+    MANUAL_START = auto()          # event 1
+    MANUAL_STOP = auto()           # event 2
+    TCP_ESTABLISHED = auto()       # event 16
+    TCP_FAILED = auto()            # event 18
+    OPEN_RECEIVED = auto()         # event 19
+    KEEPALIVE_RECEIVED = auto()    # event 26
+    UPDATE_RECEIVED = auto()       # event 27
+    HOLD_TIMER_EXPIRED = auto()    # event 10
+    NOTIFICATION_RECEIVED = auto()  # event 24/25
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A record of one state change (for tests and storm diagnostics)."""
+
+    time: float
+    event: FsmEvent
+    before: SessionState
+    after: SessionState
+
+
+class FsmError(RuntimeError):
+    """Raised when an event is illegal in the current state."""
+
+
+class BgpStateMachine:
+    """One side of a BGP peering session.
+
+    The machine is deliberately pure: :meth:`handle` consumes an event
+    and returns the new state, recording a :class:`Transition`.  All
+    timer scheduling lives with the caller (the simulator's router),
+    which feeds HOLD_TIMER_EXPIRED / TCP_* events in.
+    """
+
+    #: (state, event) -> next state.  Events not listed for a state are
+    #: either ignored (returns current state) or fatal per _FATAL below.
+    _TABLE = {
+        (SessionState.IDLE, FsmEvent.MANUAL_START): SessionState.CONNECT,
+        (SessionState.CONNECT, FsmEvent.TCP_ESTABLISHED): SessionState.OPEN_SENT,
+        (SessionState.CONNECT, FsmEvent.TCP_FAILED): SessionState.IDLE,
+        (SessionState.OPEN_SENT, FsmEvent.OPEN_RECEIVED): SessionState.OPEN_CONFIRM,
+        (SessionState.OPEN_SENT, FsmEvent.TCP_FAILED): SessionState.IDLE,
+        (SessionState.OPEN_CONFIRM, FsmEvent.KEEPALIVE_RECEIVED): SessionState.ESTABLISHED,
+        (SessionState.OPEN_CONFIRM, FsmEvent.TCP_FAILED): SessionState.IDLE,
+        (SessionState.ESTABLISHED, FsmEvent.KEEPALIVE_RECEIVED): SessionState.ESTABLISHED,
+        (SessionState.ESTABLISHED, FsmEvent.UPDATE_RECEIVED): SessionState.ESTABLISHED,
+        (SessionState.ESTABLISHED, FsmEvent.TCP_FAILED): SessionState.IDLE,
+    }
+
+    #: Events that drop any non-idle session back to IDLE.
+    _FATAL = frozenset(
+        {
+            FsmEvent.MANUAL_STOP,
+            FsmEvent.HOLD_TIMER_EXPIRED,
+            FsmEvent.NOTIFICATION_RECEIVED,
+        }
+    )
+
+    #: (state, event) pairs that are protocol violations.
+    _ILLEGAL = frozenset(
+        {
+            (SessionState.IDLE, FsmEvent.UPDATE_RECEIVED),
+            (SessionState.IDLE, FsmEvent.KEEPALIVE_RECEIVED),
+            (SessionState.IDLE, FsmEvent.OPEN_RECEIVED),
+            (SessionState.CONNECT, FsmEvent.UPDATE_RECEIVED),
+            (SessionState.OPEN_SENT, FsmEvent.UPDATE_RECEIVED),
+            (SessionState.OPEN_CONFIRM, FsmEvent.UPDATE_RECEIVED),
+        }
+    )
+
+    def __init__(self) -> None:
+        self.state = SessionState.IDLE
+        self.history: List[Transition] = []
+        self.established_count = 0
+        self.drop_count = 0
+
+    def handle(self, event: FsmEvent, now: float = 0.0) -> SessionState:
+        """Apply ``event``; returns the (possibly unchanged) new state.
+
+        Raises :class:`FsmError` for protocol violations (e.g. an UPDATE
+        before the session is Established).
+        """
+        before = self.state
+        if (before, event) in self._ILLEGAL:
+            raise FsmError(f"{event.name} illegal in {before.name}")
+        if event in self._FATAL:
+            after = SessionState.IDLE
+        else:
+            after = self._TABLE.get((before, event), before)
+        if after is not before:
+            self.history.append(Transition(now, event, before, after))
+            if after is SessionState.ESTABLISHED:
+                self.established_count += 1
+            if (
+                before is SessionState.ESTABLISHED
+                and after is not SessionState.ESTABLISHED
+            ):
+                self.drop_count += 1
+        self.state = after
+        return after
+
+    @property
+    def is_established(self) -> bool:
+        return self.state is SessionState.ESTABLISHED
+
+    def reset(self) -> None:
+        """Return to IDLE without recording a transition (test helper)."""
+        self.state = SessionState.IDLE

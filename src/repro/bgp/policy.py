@@ -1,0 +1,202 @@
+"""Routing policy: filters and attribute manipulation.
+
+The paper defines *policy fluctuation* as updates that change only
+non-forwarding attributes, and notes that "routing policies on an
+autonomous system's border routers may result in different update
+information being transmitted to each external peer."  This module
+models the policy machinery that produces those differences: ordered
+route-maps of match/action terms applied at import or export time.
+
+A :class:`RouteMap` is an ordered list of :class:`PolicyTerm`; the first
+matching term decides.  Terms match on prefix lists (with optional
+length ranges), ASPATH membership, origin AS, and communities, and
+either deny the route or permit it with attribute rewrites (the classic
+set local-pref / set MED / add community / prepend actions).
+
+Also here: :class:`PrefixLengthFilter`, the "draconian" stability
+enforcement the paper mentions — ISPs dropping all announcements longer
+than a cutoff prefix length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..net.prefix import Prefix
+from .attributes import PathAttributes
+
+__all__ = [
+    "MatchCondition",
+    "Action",
+    "PolicyTerm",
+    "RouteMap",
+    "PrefixLengthFilter",
+    "PERMIT_ALL",
+    "DENY_ALL",
+]
+
+
+@dataclass(frozen=True)
+class MatchCondition:
+    """The match half of a policy term.  Empty fields match anything.
+
+    ``prefixes`` matches when the candidate prefix is covered by any
+    listed prefix and its length lies in ``ge``..``le`` (router-style
+    ``ge``/``le`` prefix-list semantics).  ``as_path_regex`` is a
+    router-style as-path access-list pattern (see
+    :mod:`repro.bgp.aspath_regex`), compiled lazily and cached.
+    """
+
+    prefixes: Tuple[Prefix, ...] = ()
+    ge: int = 0
+    le: int = 32
+    as_on_path: Optional[int] = None
+    origin_as: Optional[int] = None
+    community: Optional[int] = None
+    as_path_regex: Optional[str] = None
+
+    def _compiled_regex(self):
+        cached = _REGEX_CACHE.get(self.as_path_regex)
+        if cached is None:
+            from .aspath_regex import compile_regex
+
+            cached = compile_regex(self.as_path_regex)
+            _REGEX_CACHE[self.as_path_regex] = cached
+        return cached
+
+    def matches(self, prefix: Prefix, attrs: PathAttributes) -> bool:
+        """True if this condition matches the candidate route."""
+        if self.prefixes:
+            if not any(listed.covers(prefix) for listed in self.prefixes):
+                return False
+            if not (self.ge <= prefix.length <= self.le):
+                return False
+        if self.as_on_path is not None:
+            if not attrs.as_path.contains_loop(self.as_on_path):
+                return False
+        if self.origin_as is not None:
+            if attrs.as_path.origin_as != self.origin_as:
+                return False
+        if self.community is not None:
+            if self.community not in attrs.communities:
+                return False
+        if self.as_path_regex is not None:
+            if not self._compiled_regex().search(attrs.as_path):
+                return False
+        return True
+
+
+#: Compiled-pattern cache shared by all conditions (patterns are few
+#: and immutable; MatchCondition itself stays a frozen dataclass).
+_REGEX_CACHE: dict = {}
+
+
+@dataclass(frozen=True)
+class Action:
+    """The action half of a permit term: attribute rewrites."""
+
+    set_local_pref: Optional[int] = None
+    set_med: Optional[int] = None
+    add_communities: Tuple[int, ...] = ()
+    strip_communities: bool = False
+    prepend: int = 0          #: extra copies of ``prepend_asn`` to add
+    prepend_asn: Optional[int] = None
+
+    def apply(self, attrs: PathAttributes) -> PathAttributes:
+        """Rewrite ``attrs`` per this action."""
+        result = attrs
+        if self.set_local_pref is not None:
+            result = replace(result, local_pref=self.set_local_pref)
+        if self.set_med is not None:
+            result = replace(result, med=self.set_med)
+        if self.strip_communities:
+            result = replace(result, communities=frozenset())
+        if self.add_communities:
+            result = result.with_communities(*self.add_communities)
+        if self.prepend and self.prepend_asn is not None:
+            result = replace(
+                result,
+                as_path=result.as_path.prepend(self.prepend_asn, self.prepend),
+            )
+        return result
+
+
+@dataclass(frozen=True)
+class PolicyTerm:
+    """One route-map entry: a match, a permit/deny verdict, an action."""
+
+    match: MatchCondition = field(default_factory=MatchCondition)
+    permit: bool = True
+    action: Action = field(default_factory=Action)
+    name: str = ""
+
+
+class RouteMap:
+    """An ordered route-map; the first matching term wins.
+
+    A route matching no term is denied (router default).  The
+    evaluation cost — every route tested against a potentially long
+    term list — is exactly the per-update policy cost the paper calls
+    out as a router CPU burden; :attr:`evaluations` counts terms tested
+    so the router CPU model can charge for it.
+    """
+
+    def __init__(self, terms: Iterable[PolicyTerm] = (), name: str = "") -> None:
+        self.terms: List[PolicyTerm] = list(terms)
+        self.name = name
+        self.evaluations = 0
+
+    def evaluate(
+        self, prefix: Prefix, attrs: PathAttributes
+    ) -> Optional[PathAttributes]:
+        """Apply the map: the rewritten attributes, or None if denied."""
+        for term in self.terms:
+            self.evaluations += 1
+            if term.match.matches(prefix, attrs):
+                if not term.permit:
+                    return None
+                return term.action.apply(attrs)
+        return None
+
+    def append(self, term: PolicyTerm) -> "RouteMap":
+        self.terms.append(term)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+
+#: A map that permits everything unchanged.
+PERMIT_ALL = RouteMap([PolicyTerm()], name="permit-all")
+
+#: A map that denies everything.
+DENY_ALL = RouteMap([], name="deny-all")
+
+
+class PrefixLengthFilter:
+    """Drop announcements longer than ``max_length``.
+
+    The paper (§3): "A number of ISPs have implemented a more draconian
+    version of enforcing stability by filtering all route announcements
+    longer than a given prefix length."
+    """
+
+    def __init__(self, max_length: int = 24) -> None:
+        if not 0 <= max_length <= 32:
+            raise ValueError(f"bad max_length {max_length}")
+        self.max_length = max_length
+        self.dropped = 0
+        self.passed = 0
+
+    def allows(self, prefix: Prefix) -> bool:
+        """True if the prefix passes; updates drop/pass counters."""
+        if prefix.length > self.max_length:
+            self.dropped += 1
+            return False
+        self.passed += 1
+        return True
+
+    def filter(self, prefixes: Sequence[Prefix]) -> List[Prefix]:
+        """The subset of ``prefixes`` that pass."""
+        return [p for p in prefixes if self.allows(p)]

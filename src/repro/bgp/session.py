@@ -1,0 +1,256 @@
+"""A BGP peering session: hold/keepalive timing over the FSM.
+
+:class:`PeeringSession` is one endpoint's view of a session with one
+peer.  It owns the :class:`~repro.bgp.fsm.BgpStateMachine`, the hold
+timer deadline, and the keepalive schedule.  It is *engine-agnostic*:
+every method takes the current simulated time, and instead of
+scheduling callbacks it reports what is due via :meth:`poll`.  The
+simulator's router calls ``poll`` whenever it processes the session.
+
+The timing model matters for the reproduction: the paper's route-flap
+storms happen because a busy router *fails to send keepalives on time*
+(its CPU is busy with updates), so the peer's hold timer expires even
+though the link is healthy.  The router model therefore sends
+keepalives through the same CPU-work queue as updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .fsm import BgpStateMachine, FsmEvent, SessionState
+from .messages import (
+    DEFAULT_HOLD_TIME,
+    KeepAliveMessage,
+    NotificationCode,
+    NotificationMessage,
+    OpenMessage,
+    UpdateMessage,
+)
+
+__all__ = ["PeeringSession", "SessionAction", "ActionKind"]
+
+
+from enum import Enum, auto
+
+
+class ActionKind(Enum):
+    """What the session asks its owner to do."""
+
+    SEND_OPEN = auto()
+    SEND_KEEPALIVE = auto()
+    SEND_NOTIFICATION = auto()
+    SESSION_UP = auto()        #: entered Established — send the table dump
+    SESSION_DOWN = auto()      #: left Established — withdraw peer's routes
+    RESTART = auto()           #: caller should re-initiate the connection
+
+
+@dataclass(frozen=True)
+class SessionAction:
+    """An instruction emitted by the session to its owning router."""
+
+    kind: ActionKind
+    time: float
+    message: object = None
+
+
+class PeeringSession:
+    """One endpoint of a BGP session.
+
+    Parameters
+    ----------
+    local_asn, peer_asn:
+        AS numbers of the two ends.
+    hold_time:
+        Negotiated hold time; keepalives go out every ``hold_time / 3``.
+    local_id:
+        32-bit identifier used in our OPEN.
+    """
+
+    def __init__(
+        self,
+        local_asn: int,
+        peer_asn: int,
+        hold_time: float = DEFAULT_HOLD_TIME,
+        local_id: int = 0,
+    ) -> None:
+        self.local_asn = local_asn
+        self.peer_asn = peer_asn
+        self.hold_time = hold_time
+        self.local_id = local_id
+        self.fsm = BgpStateMachine()
+        self.keepalive_interval = hold_time / 3.0
+        self._hold_deadline: Optional[float] = None
+        self._next_keepalive: Optional[float] = None
+        #: message counters (per direction), used by bench/diagnostics
+        self.sent_updates = 0
+        self.received_updates = 0
+        self.sent_keepalives = 0
+        self.received_keepalives = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self, now: float) -> List[SessionAction]:
+        """Begin session establishment (ManualStart + TCP up)."""
+        self.fsm.handle(FsmEvent.MANUAL_START, now)
+        self.fsm.handle(FsmEvent.TCP_ESTABLISHED, now)
+        self._hold_deadline = now + self.hold_time
+        return [
+            SessionAction(
+                ActionKind.SEND_OPEN,
+                now,
+                OpenMessage(
+                    asn=self.local_asn,
+                    hold_time=self.hold_time,
+                    bgp_identifier=self.local_id,
+                ),
+            )
+        ]
+
+    def stop(self, now: float) -> List[SessionAction]:
+        """Administratively stop the session (Cease)."""
+        was_established = self.fsm.is_established
+        self.fsm.handle(FsmEvent.MANUAL_STOP, now)
+        self._hold_deadline = None
+        self._next_keepalive = None
+        actions = [
+            SessionAction(
+                ActionKind.SEND_NOTIFICATION,
+                now,
+                NotificationMessage(NotificationCode.CEASE),
+            )
+        ]
+        if was_established:
+            actions.append(SessionAction(ActionKind.SESSION_DOWN, now))
+        return actions
+
+    # -- inbound messages ---------------------------------------------------
+
+    def on_open(self, now: float, msg: OpenMessage) -> List[SessionAction]:
+        """Handle a received OPEN: negotiate hold time, confirm."""
+        self.fsm.handle(FsmEvent.OPEN_RECEIVED, now)
+        # RFC 4271: the session uses the smaller of the two hold times.
+        self.hold_time = min(self.hold_time, msg.hold_time)
+        self.keepalive_interval = self.hold_time / 3.0
+        self._hold_deadline = now + self.hold_time
+        return [
+            SessionAction(ActionKind.SEND_KEEPALIVE, now, KeepAliveMessage())
+        ]
+
+    def on_keepalive(self, now: float) -> List[SessionAction]:
+        """Handle a received KEEPALIVE: refresh hold timer, maybe go up."""
+        before = self.fsm.state
+        self.fsm.handle(FsmEvent.KEEPALIVE_RECEIVED, now)
+        self.received_keepalives += 1
+        self._hold_deadline = now + self.hold_time
+        actions: List[SessionAction] = []
+        if (
+            before is SessionState.OPEN_CONFIRM
+            and self.fsm.is_established
+        ):
+            self._next_keepalive = now + self.keepalive_interval
+            actions.append(SessionAction(ActionKind.SESSION_UP, now))
+        return actions
+
+    def on_update(self, now: float, msg: UpdateMessage) -> List[SessionAction]:
+        """Handle a received UPDATE: refreshes the hold timer too."""
+        self.fsm.handle(FsmEvent.UPDATE_RECEIVED, now)
+        self.received_updates += 1
+        self._hold_deadline = now + self.hold_time
+        return []
+
+    def on_transport_failure(self, now: float) -> List[SessionAction]:
+        """The underlying transport (link) failed: the session is gone.
+
+        No RESTART is requested — reconnection waits for the owner to
+        observe the link recover.
+        """
+        was_established = self.fsm.is_established
+        self.fsm.handle(FsmEvent.TCP_FAILED, now)
+        self._hold_deadline = None
+        self._next_keepalive = None
+        if was_established:
+            return [SessionAction(ActionKind.SESSION_DOWN, now)]
+        return []
+
+    def on_notification(
+        self, now: float, msg: NotificationMessage
+    ) -> List[SessionAction]:
+        """Handle a received NOTIFICATION: the session is dead."""
+        was_established = self.fsm.is_established
+        self.fsm.handle(FsmEvent.NOTIFICATION_RECEIVED, now)
+        self._hold_deadline = None
+        self._next_keepalive = None
+        actions: List[SessionAction] = []
+        if was_established:
+            actions.append(SessionAction(ActionKind.SESSION_DOWN, now))
+        actions.append(SessionAction(ActionKind.RESTART, now))
+        return actions
+
+    # -- timer polling -----------------------------------------------------------
+
+    def poll(self, now: float) -> List[SessionAction]:
+        """Check timers; returns any due actions.
+
+        - Hold timer expiry tears the session down (and asks for a
+          restart — the re-peering that amplifies flap storms).
+        - Keepalive timer emits the next keepalive.  The keepalive is
+          *requested* here; if the owning router's CPU is saturated it
+          may transmit late — which is precisely how storms ignite.
+        """
+        actions: List[SessionAction] = []
+        if (
+            self._hold_deadline is not None
+            and now >= self._hold_deadline
+            and self.fsm.state is not SessionState.IDLE
+        ):
+            was_established = self.fsm.is_established
+            self.fsm.handle(FsmEvent.HOLD_TIMER_EXPIRED, now)
+            self._hold_deadline = None
+            self._next_keepalive = None
+            actions.append(
+                SessionAction(
+                    ActionKind.SEND_NOTIFICATION,
+                    now,
+                    NotificationMessage(NotificationCode.HOLD_TIMER_EXPIRED),
+                )
+            )
+            if was_established:
+                actions.append(SessionAction(ActionKind.SESSION_DOWN, now))
+            actions.append(SessionAction(ActionKind.RESTART, now))
+            return actions
+        if (
+            self.fsm.is_established
+            and self._next_keepalive is not None
+            and now >= self._next_keepalive
+        ):
+            self._next_keepalive = now + self.keepalive_interval
+            self.sent_keepalives += 1
+            actions.append(
+                SessionAction(ActionKind.SEND_KEEPALIVE, now, KeepAliveMessage())
+            )
+        return actions
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def is_established(self) -> bool:
+        return self.fsm.is_established
+
+    @property
+    def hold_deadline(self) -> Optional[float]:
+        return self._hold_deadline
+
+    @property
+    def next_keepalive_due(self) -> Optional[float]:
+        return self._next_keepalive
+
+    def next_deadline(self) -> Optional[float]:
+        """The soonest time :meth:`poll` could have something to do."""
+        deadlines = [
+            d
+            for d in (self._hold_deadline, self._next_keepalive)
+            if d is not None
+        ]
+        return min(deadlines) if deadlines else None

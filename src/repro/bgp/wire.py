@@ -1,0 +1,414 @@
+"""BGP-4 wire-format codec (RFC 4271 / RFC 1997 subset).
+
+The Routing Arbiter's collectors logged raw BGP packets; the paper's
+toolchain decoded them offline.  To exercise the same code path, our
+collector can log updates in actual BGP wire format, and this module is
+the codec: a faithful RFC 4271 encoding of the OPEN / UPDATE /
+KEEPALIVE / NOTIFICATION messages used by the simulator, including the
+classic two-byte-AS AS_PATH encoding and the RFC 1997 COMMUNITIES
+attribute.
+
+Only the features the reproduction exercises are implemented; anything
+else (multiprotocol NLRI, 4-byte ASes, AS_SETs) raises
+:class:`WireError` rather than silently decoding wrong.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from ..net.prefix import Prefix
+from .attributes import AsPath, Origin, PathAttributes
+from .messages import (
+    KeepAliveMessage,
+    MessageType,
+    NotificationCode,
+    NotificationMessage,
+    OpenMessage,
+    UpdateMessage,
+)
+
+__all__ = ["WireError", "encode_message", "decode_message", "HEADER_SIZE"]
+
+
+class WireError(ValueError):
+    """Raised for malformed or unsupported wire data."""
+
+
+HEADER_SIZE = 19
+_MARKER = b"\xff" * 16
+_MAX_MESSAGE = 4096
+
+# Path attribute type codes.
+_ATTR_ORIGIN = 1
+_ATTR_AS_PATH = 2
+_ATTR_NEXT_HOP = 3
+_ATTR_MED = 4
+_ATTR_LOCAL_PREF = 5
+_ATTR_ATOMIC_AGGREGATE = 6
+_ATTR_AGGREGATOR = 7
+_ATTR_COMMUNITIES = 8
+
+# Attribute flag bits.
+_FLAG_OPTIONAL = 0x80
+_FLAG_TRANSITIVE = 0x40
+_FLAG_EXTENDED_LENGTH = 0x10
+
+_AS_SEQUENCE = 2
+
+
+# ---------------------------------------------------------------------------
+# prefix (NLRI) encoding
+# ---------------------------------------------------------------------------
+
+def _encode_nlri(prefix: Prefix) -> bytes:
+    """Encode one prefix as ``length, ceil(length/8) address bytes``."""
+    nbytes = (prefix.length + 7) // 8
+    addr = struct.pack(">I", prefix.network)[:nbytes]
+    return bytes([prefix.length]) + addr
+
+
+def _decode_nlri(data: bytes, offset: int) -> Tuple[Prefix, int]:
+    """Decode one prefix at ``offset``; returns (prefix, next offset)."""
+    if offset >= len(data):
+        raise WireError("truncated NLRI")
+    length = data[offset]
+    if length > 32:
+        raise WireError(f"NLRI length {length} > 32")
+    nbytes = (length + 7) // 8
+    end = offset + 1 + nbytes
+    if end > len(data):
+        raise WireError("truncated NLRI address bytes")
+    addr_bytes = data[offset + 1:end] + b"\x00" * (4 - nbytes)
+    network = struct.unpack(">I", addr_bytes)[0]
+    mask = (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF if length else 0
+    if network & ~mask:
+        raise WireError("NLRI host bits set")
+    return Prefix(network, length), end
+
+
+# ---------------------------------------------------------------------------
+# path attribute encoding
+# ---------------------------------------------------------------------------
+
+def _encode_attribute(flags: int, type_code: int, value: bytes) -> bytes:
+    if len(value) > 255:
+        flags |= _FLAG_EXTENDED_LENGTH
+        header = struct.pack(">BBH", flags, type_code, len(value))
+    else:
+        header = struct.pack(">BBB", flags, type_code, len(value))
+    return header + value
+
+
+def _encode_attributes(attrs: PathAttributes) -> bytes:
+    chunks: List[bytes] = []
+    chunks.append(
+        _encode_attribute(
+            _FLAG_TRANSITIVE, _ATTR_ORIGIN, bytes([int(attrs.origin)])
+        )
+    )
+    path_value = b""
+    if attrs.as_path:
+        for asn in attrs.as_path:
+            if asn >= 1 << 16:
+                raise WireError("4-byte AS numbers not supported")
+        path_value = (
+            bytes([_AS_SEQUENCE, len(attrs.as_path)])
+            + b"".join(struct.pack(">H", asn) for asn in attrs.as_path)
+        )
+    chunks.append(
+        _encode_attribute(_FLAG_TRANSITIVE, _ATTR_AS_PATH, path_value)
+    )
+    chunks.append(
+        _encode_attribute(
+            _FLAG_TRANSITIVE, _ATTR_NEXT_HOP, struct.pack(">I", attrs.next_hop)
+        )
+    )
+    if attrs.med is not None:
+        chunks.append(
+            _encode_attribute(
+                _FLAG_OPTIONAL, _ATTR_MED, struct.pack(">I", attrs.med)
+            )
+        )
+    if attrs.local_pref is not None:
+        chunks.append(
+            _encode_attribute(
+                _FLAG_TRANSITIVE,
+                _ATTR_LOCAL_PREF,
+                struct.pack(">I", attrs.local_pref),
+            )
+        )
+    if attrs.atomic_aggregate:
+        chunks.append(
+            _encode_attribute(_FLAG_TRANSITIVE, _ATTR_ATOMIC_AGGREGATE, b"")
+        )
+    if attrs.aggregator is not None:
+        asn, router_id = attrs.aggregator
+        chunks.append(
+            _encode_attribute(
+                _FLAG_OPTIONAL | _FLAG_TRANSITIVE,
+                _ATTR_AGGREGATOR,
+                struct.pack(">HI", asn, router_id),
+            )
+        )
+    if attrs.communities:
+        chunks.append(
+            _encode_attribute(
+                _FLAG_OPTIONAL | _FLAG_TRANSITIVE,
+                _ATTR_COMMUNITIES,
+                b"".join(
+                    struct.pack(">I", c) for c in sorted(attrs.communities)
+                ),
+            )
+        )
+    return b"".join(chunks)
+
+
+def _decode_attributes(data: bytes) -> PathAttributes:
+    offset = 0
+    origin = Origin.IGP
+    as_path = AsPath()
+    next_hop = 0
+    med = None
+    local_pref = None
+    atomic = False
+    aggregator = None
+    communities: frozenset = frozenset()
+    while offset < len(data):
+        if offset + 2 > len(data):
+            raise WireError("truncated attribute header")
+        flags, type_code = data[offset], data[offset + 1]
+        offset += 2
+        if flags & _FLAG_EXTENDED_LENGTH:
+            if offset + 2 > len(data):
+                raise WireError("truncated extended length")
+            (length,) = struct.unpack_from(">H", data, offset)
+            offset += 2
+        else:
+            if offset + 1 > len(data):
+                raise WireError("truncated attribute length")
+            length = data[offset]
+            offset += 1
+        value = data[offset:offset + length]
+        if len(value) != length:
+            raise WireError("truncated attribute value")
+        offset += length
+        if type_code == _ATTR_ORIGIN:
+            if length != 1 or value[0] > 2:
+                raise WireError("bad ORIGIN")
+            origin = Origin(value[0])
+        elif type_code == _ATTR_AS_PATH:
+            as_path = _decode_as_path(value)
+        elif type_code == _ATTR_NEXT_HOP:
+            if length != 4:
+                raise WireError("bad NEXT_HOP length")
+            (next_hop,) = struct.unpack(">I", value)
+        elif type_code == _ATTR_MED:
+            if length != 4:
+                raise WireError("bad MED length")
+            (med,) = struct.unpack(">I", value)
+        elif type_code == _ATTR_LOCAL_PREF:
+            if length != 4:
+                raise WireError("bad LOCAL_PREF length")
+            (local_pref,) = struct.unpack(">I", value)
+        elif type_code == _ATTR_ATOMIC_AGGREGATE:
+            if length:
+                raise WireError("ATOMIC_AGGREGATE carries no data")
+            atomic = True
+        elif type_code == _ATTR_AGGREGATOR:
+            if length != 6:
+                raise WireError("bad AGGREGATOR length")
+            aggregator = struct.unpack(">HI", value)
+        elif type_code == _ATTR_COMMUNITIES:
+            if length % 4:
+                raise WireError("bad COMMUNITIES length")
+            communities = frozenset(
+                struct.unpack(">I", value[i:i + 4])[0]
+                for i in range(0, length, 4)
+            )
+        else:
+            raise WireError(f"unsupported attribute type {type_code}")
+    return PathAttributes(
+        as_path=as_path,
+        next_hop=next_hop,
+        origin=origin,
+        med=med,
+        local_pref=local_pref,
+        communities=communities,
+        atomic_aggregate=atomic,
+        aggregator=aggregator,
+    )
+
+
+def _decode_as_path(value: bytes) -> AsPath:
+    asns: List[int] = []
+    offset = 0
+    while offset < len(value):
+        if offset + 2 > len(value):
+            raise WireError("truncated AS_PATH segment header")
+        seg_type, count = value[offset], value[offset + 1]
+        offset += 2
+        if seg_type != _AS_SEQUENCE:
+            raise WireError(f"unsupported AS_PATH segment type {seg_type}")
+        end = offset + 2 * count
+        if end > len(value):
+            raise WireError("truncated AS_PATH segment")
+        asns.extend(
+            struct.unpack(">H", value[i:i + 2])[0]
+            for i in range(offset, end, 2)
+        )
+        offset = end
+    return AsPath(asns)
+
+
+# ---------------------------------------------------------------------------
+# message bodies
+# ---------------------------------------------------------------------------
+
+def _encode_open(msg: OpenMessage) -> bytes:
+    hold = int(round(msg.hold_time))
+    if not 0 <= hold <= 0xFFFF:
+        raise WireError(f"hold time {msg.hold_time} out of range")
+    if not 0 < msg.asn < 1 << 16:
+        raise WireError(f"AS number {msg.asn} out of range")
+    return struct.pack(
+        ">BHHIB", msg.version, msg.asn, hold, msg.bgp_identifier, 0
+    )
+
+
+def _decode_open(body: bytes) -> OpenMessage:
+    if len(body) < 10:
+        raise WireError("truncated OPEN")
+    version, asn, hold, identifier, opt_len = struct.unpack_from(
+        ">BHHIB", body
+    )
+    if version != 4:
+        raise WireError(f"unsupported BGP version {version}")
+    if len(body) != 10 + opt_len:
+        raise WireError("OPEN optional parameter length mismatch")
+    return OpenMessage(
+        asn=asn,
+        hold_time=float(hold),
+        bgp_identifier=identifier,
+        version=version,
+    )
+
+
+def _encode_update(msg: UpdateMessage) -> bytes:
+    withdrawn = b"".join(_encode_nlri(p) for p in msg.withdrawn)
+    if msg.announced:
+        attrs = _encode_attributes(msg.attributes)
+        nlri = b"".join(_encode_nlri(p) for p in msg.announced)
+    else:
+        attrs = b""
+        nlri = b""
+    return (
+        struct.pack(">H", len(withdrawn))
+        + withdrawn
+        + struct.pack(">H", len(attrs))
+        + attrs
+        + nlri
+    )
+
+
+def _decode_update(body: bytes) -> UpdateMessage:
+    if len(body) < 4:
+        raise WireError("truncated UPDATE")
+    (withdrawn_len,) = struct.unpack_from(">H", body, 0)
+    offset = 2
+    withdrawn_end = offset + withdrawn_len
+    if withdrawn_end + 2 > len(body):
+        raise WireError("UPDATE withdrawn length overruns message")
+    withdrawn: List[Prefix] = []
+    while offset < withdrawn_end:
+        prefix, offset = _decode_nlri(body, offset)
+        withdrawn.append(prefix)
+    if offset != withdrawn_end:
+        raise WireError("withdrawn routes length mismatch")
+    (attrs_len,) = struct.unpack_from(">H", body, offset)
+    offset += 2
+    attrs_end = offset + attrs_len
+    if attrs_end > len(body):
+        raise WireError("UPDATE attribute length overruns message")
+    attributes = (
+        _decode_attributes(body[offset:attrs_end])
+        if attrs_len
+        else PathAttributes()
+    )
+    offset = attrs_end
+    announced: List[Prefix] = []
+    while offset < len(body):
+        prefix, offset = _decode_nlri(body, offset)
+        announced.append(prefix)
+    return UpdateMessage(
+        withdrawn=tuple(withdrawn),
+        announced=tuple(announced),
+        attributes=attributes,
+    )
+
+
+def _encode_notification(msg: NotificationMessage) -> bytes:
+    return bytes([int(msg.code), msg.subcode]) + msg.data
+
+
+def _decode_notification(body: bytes) -> NotificationMessage:
+    if len(body) < 2:
+        raise WireError("truncated NOTIFICATION")
+    try:
+        code = NotificationCode(body[0])
+    except ValueError as exc:
+        raise WireError(f"unknown notification code {body[0]}") from exc
+    return NotificationMessage(code=code, subcode=body[1], data=bytes(body[2:]))
+
+
+# ---------------------------------------------------------------------------
+# public API
+# ---------------------------------------------------------------------------
+
+def encode_message(message) -> bytes:
+    """Encode any BGP message object to its RFC 4271 wire form."""
+    if isinstance(message, OpenMessage):
+        body = _encode_open(message)
+    elif isinstance(message, UpdateMessage):
+        body = _encode_update(message)
+    elif isinstance(message, KeepAliveMessage):
+        body = b""
+    elif isinstance(message, NotificationMessage):
+        body = _encode_notification(message)
+    else:
+        raise WireError(f"cannot encode {type(message).__name__}")
+    total = HEADER_SIZE + len(body)
+    if total > _MAX_MESSAGE:
+        raise WireError(f"message size {total} exceeds {_MAX_MESSAGE}")
+    header = _MARKER + struct.pack(">HB", total, int(message.type))
+    return header + body
+
+
+def decode_message(data: bytes):
+    """Decode one wire message; returns ``(message, bytes_consumed)``.
+
+    Raises :class:`WireError` on malformed input.  ``data`` may contain
+    trailing bytes (the start of the next message on the stream).
+    """
+    if len(data) < HEADER_SIZE:
+        raise WireError("truncated header")
+    if data[:16] != _MARKER:
+        raise WireError("bad marker")
+    total, type_code = struct.unpack_from(">HB", data, 16)
+    if total < HEADER_SIZE or total > _MAX_MESSAGE:
+        raise WireError(f"bad message length {total}")
+    if len(data) < total:
+        raise WireError("truncated message body")
+    body = data[HEADER_SIZE:total]
+    if type_code == MessageType.OPEN:
+        return _decode_open(body), total
+    if type_code == MessageType.UPDATE:
+        return _decode_update(body), total
+    if type_code == MessageType.KEEPALIVE:
+        if body:
+            raise WireError("KEEPALIVE carries no body")
+        return KeepAliveMessage(), total
+    if type_code == MessageType.NOTIFICATION:
+        return _decode_notification(body), total
+    raise WireError(f"unknown message type {type_code}")

@@ -1,0 +1,152 @@
+"""Update-log sinks and sources.
+
+A *sink* is anywhere the simulator's route servers write observed
+updates; a *source* replays them into analyses.  Three sinks are
+provided:
+
+- :class:`MemoryLog` — in-process list, the default for tests and
+  short simulations.
+- :class:`FileLog` — streaming MRT-flavoured archive on disk, for
+  long-horizon generated traces.
+- :class:`CountingLog` — keeps only aggregate counters (per peer, per
+  kind), for simulations where record retention would dominate memory.
+
+All sinks implement ``append(record)`` / ``extend(records)``; sources
+are simply iterables of :class:`UpdateRecord`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Union
+
+from .mrt import read_records, write_records
+from .record import UpdateKind, UpdateRecord
+
+__all__ = ["MemoryLog", "FileLog", "CountingLog", "open_log"]
+
+
+class MemoryLog:
+    """An in-memory update log (list-backed)."""
+
+    def __init__(self) -> None:
+        self.records: List[UpdateRecord] = []
+
+    def append(self, record: UpdateRecord) -> None:
+        self.records.append(record)
+
+    def extend(self, records: Iterable[UpdateRecord]) -> None:
+        self.records.extend(records)
+
+    def __iter__(self) -> Iterator[UpdateRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def sorted_by_time(self) -> List[UpdateRecord]:
+        return sorted(self.records, key=lambda r: r.time)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class FileLog:
+    """A disk-backed MRT-flavoured update log.
+
+    Use as a context manager for writing::
+
+        with FileLog(path).writer() as log:
+            log.append(record)
+
+    and iterate the instance to read back.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def writer(self) -> "_FileLogWriter":
+        return _FileLogWriter(self.path)
+
+    def __iter__(self) -> Iterator[UpdateRecord]:
+        with open(self.path, "rb") as stream:
+            yield from read_records(stream)
+
+    def read_all(self) -> List[UpdateRecord]:
+        return list(self)
+
+
+class _FileLogWriter:
+    """Streaming writer for :class:`FileLog` (context manager)."""
+
+    def __init__(self, path: Path) -> None:
+        self._path = path
+        self._stream = None
+        self.count = 0
+
+    def __enter__(self) -> "_FileLogWriter":
+        from .mrt import MAGIC
+
+        self._stream = open(self._path, "wb")
+        self._stream.write(MAGIC)
+        return self
+
+    def append(self, record: UpdateRecord) -> None:
+        from .mrt import write_record_body
+
+        write_record_body(self._stream, record)
+        self.count += 1
+
+    def extend(self, records: Iterable[UpdateRecord]) -> None:
+        for record in records:
+            self.append(record)
+
+    def __exit__(self, *exc_info) -> None:
+        self._stream.close()
+        self._stream = None
+
+
+class CountingLog:
+    """Aggregate-only sink: per-peer-AS announce/withdraw counters plus
+    distinct-prefix tracking.  Enough to produce Table-1-style rows
+    without retaining the record stream."""
+
+    def __init__(self) -> None:
+        self.announces: Counter = Counter()
+        self.withdraws: Counter = Counter()
+        self._prefixes: Dict[int, set] = {}
+        self.total = 0
+
+    def append(self, record: UpdateRecord) -> None:
+        asn = record.peer_asn
+        if record.kind is UpdateKind.ANNOUNCE:
+            self.announces[asn] += 1
+        else:
+            self.withdraws[asn] += 1
+        self._prefixes.setdefault(asn, set()).add(record.prefix)
+        self.total += 1
+
+    def extend(self, records: Iterable[UpdateRecord]) -> None:
+        for record in records:
+            self.append(record)
+
+    def unique_prefixes(self, asn: int) -> int:
+        return len(self._prefixes.get(asn, ()))
+
+    def peer_asns(self) -> List[int]:
+        return sorted(set(self.announces) | set(self.withdraws))
+
+    def row(self, asn: int) -> Dict[str, int]:
+        """A Table-1 row for one peer AS."""
+        return {
+            "announce": self.announces.get(asn, 0),
+            "withdraw": self.withdraws.get(asn, 0),
+            "unique": self.unique_prefixes(asn),
+        }
+
+
+def open_log(path: Optional[Union[str, Path]] = None):
+    """Convenience factory: a FileLog if ``path`` is given, else a
+    MemoryLog."""
+    return FileLog(path) if path is not None else MemoryLog()

@@ -1,0 +1,146 @@
+"""The update record: the unit of everything the paper measures.
+
+The Routing Arbiter logs, decoded, reduce to a stream of timestamped
+per-prefix events: *peer X announced prefix P with attributes A* or
+*peer X withdrew prefix P*.  Every analysis in the paper — the
+classification taxonomy, the density plots, the spectra, the
+inter-arrival histograms, the Prefix+AS distributions — consumes exactly
+this stream.  :class:`UpdateRecord` is that unit, shared by both data
+tiers (the event simulator and the statistical generator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from ..bgp.attributes import PathAttributes
+from ..bgp.messages import UpdateMessage
+from ..net.prefix import Prefix
+
+__all__ = ["UpdateKind", "UpdateRecord", "flatten_update", "PrefixAs"]
+
+
+class UpdateKind(IntEnum):
+    """Announcement or withdrawal (the two forms of BGP routing info)."""
+
+    ANNOUNCE = 1
+    WITHDRAW = 2
+
+
+#: The paper's "Prefix+AS" aggregation unit: "a set of routes that an AS
+#: announces for a given destination... more specific than a prefix, and
+#: more general than a route."
+PrefixAs = Tuple[Prefix, int]
+
+
+@dataclass(frozen=True)
+class UpdateRecord:
+    """One per-prefix routing event observed at a collection point.
+
+    Attributes
+    ----------
+    time:
+        Seconds since the simulation epoch (a simulated calendar maps
+        this to weekday/hour for the temporal analyses).
+    peer_id:
+        The 32-bit address of the peer router the event came from.
+    peer_asn:
+        The autonomous system of that peer — the "AS" in Prefix+AS.
+    prefix:
+        The destination block the event concerns.
+    kind:
+        ANNOUNCE or WITHDRAW.
+    attributes:
+        The announcement's path attributes; None for withdrawals.
+    """
+
+    time: float
+    peer_id: int
+    peer_asn: int
+    prefix: Prefix
+    kind: UpdateKind
+    attributes: Optional[PathAttributes] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is UpdateKind.ANNOUNCE and self.attributes is None:
+            raise ValueError("announcements must carry attributes")
+        if self.kind is UpdateKind.WITHDRAW and self.attributes is not None:
+            raise ValueError("withdrawals carry no attributes")
+
+    @property
+    def is_announce(self) -> bool:
+        return self.kind is UpdateKind.ANNOUNCE
+
+    @property
+    def is_withdraw(self) -> bool:
+        return self.kind is UpdateKind.WITHDRAW
+
+    @property
+    def prefix_as(self) -> PrefixAs:
+        """The (prefix, peer AS) pair the fine-grained analyses key on."""
+        return (self.prefix, self.peer_asn)
+
+    @property
+    def forwarding_tuple(self):
+        """The paper's (Prefix, NextHop, ASPATH) identity, or None for
+        withdrawals."""
+        if self.attributes is None:
+            return None
+        return (
+            self.prefix,
+            self.attributes.next_hop,
+            tuple(self.attributes.as_path),
+        )
+
+
+def flatten_update(
+    time: float,
+    peer_id: int,
+    peer_asn: int,
+    message: UpdateMessage,
+) -> List[UpdateRecord]:
+    """Explode one BGP UPDATE into per-prefix records.
+
+    This is the counting convention behind every number in the paper: an
+    UPDATE with three announced NLRI and two withdrawals contributes five
+    "updates".
+    """
+    records: List[UpdateRecord] = [
+        UpdateRecord(time, peer_id, peer_asn, prefix, UpdateKind.WITHDRAW)
+        for prefix in message.withdrawn
+    ]
+    records.extend(
+        UpdateRecord(
+            time,
+            peer_id,
+            peer_asn,
+            prefix,
+            UpdateKind.ANNOUNCE,
+            message.attributes,
+        )
+        for prefix in message.announced
+    )
+    return records
+
+
+def count_by_kind(records: Iterable[UpdateRecord]) -> Tuple[int, int]:
+    """(announcements, withdrawals) — the Table 1 column pair."""
+    announces = withdraws = 0
+    for record in records:
+        if record.is_announce:
+            announces += 1
+        else:
+            withdraws += 1
+    return announces, withdraws
+
+
+def unique_prefixes(records: Iterable[UpdateRecord]) -> int:
+    """Distinct prefixes touched — Table 1's "Unique" column."""
+    return len({record.prefix for record in records})
+
+
+def iter_sorted(records: Iterable[UpdateRecord]) -> Iterator[UpdateRecord]:
+    """Yield records in time order (analyses assume monotone time)."""
+    yield from sorted(records, key=lambda r: r.time)

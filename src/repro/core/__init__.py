@@ -1,0 +1,41 @@
+"""The paper's primary contribution: the update taxonomy, the streaming
+classifier, instability metrics, and result reporting."""
+
+from .taxonomy import (
+    FIGURE2_CATEGORIES,
+    FINE_GRAINED_CATEGORIES,
+    INSTABILITY_CATEGORIES,
+    PATHOLOGICAL_CATEGORIES,
+    UpdateCategory,
+)
+from .classifier import ClassifiedUpdate, StreamClassifier, classify
+from .instability import (
+    CategoryCounts,
+    Incident,
+    counts_by_peer,
+    counts_by_prefix_as,
+    detect_incidents,
+    persistence,
+)
+from .report import ExperimentResult, Series, Table, format_number
+
+__all__ = [
+    "FIGURE2_CATEGORIES",
+    "FINE_GRAINED_CATEGORIES",
+    "INSTABILITY_CATEGORIES",
+    "PATHOLOGICAL_CATEGORIES",
+    "UpdateCategory",
+    "ClassifiedUpdate",
+    "StreamClassifier",
+    "classify",
+    "CategoryCounts",
+    "Incident",
+    "counts_by_peer",
+    "counts_by_prefix_as",
+    "detect_incidents",
+    "persistence",
+    "ExperimentResult",
+    "Series",
+    "Table",
+    "format_number",
+]

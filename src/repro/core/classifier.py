@@ -1,0 +1,168 @@
+"""Streaming classification of update records into the paper's taxonomy.
+
+The classifier consumes a time-ordered stream of
+:class:`~repro.collector.record.UpdateRecord` and labels each record
+with an :class:`~repro.core.taxonomy.UpdateCategory` by tracking, for
+every ``(peer_id, prefix)`` pair:
+
+- whether the route is currently *reachable* via that peer, and
+- the last announced attributes (kept even across withdrawals, so a
+  re-announcement can be recognized as a WADup vs a WADiff).
+
+A duplicate is "the receipt of two or more updates with identical
+(Prefix, NextHop, ASPATH) tuple information" (§4.1); announcements that
+repeat the forwarding tuple but alter other attributes are flagged
+``policy_change`` — the paper's *policy fluctuation*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..bgp.attributes import PathAttributes
+from ..collector.record import UpdateKind, UpdateRecord
+from ..net.prefix import Prefix
+from .taxonomy import UpdateCategory
+
+__all__ = ["ClassifiedUpdate", "StreamClassifier", "classify"]
+
+
+@dataclass(frozen=True)
+class ClassifiedUpdate:
+    """A record plus its taxonomy label.
+
+    ``policy_change`` is True for AADUP events whose non-forwarding
+    attributes (MED, communities, ...) changed — policy fluctuation
+    rather than a pure pathological duplicate.
+    """
+
+    record: UpdateRecord
+    category: UpdateCategory
+    policy_change: bool = False
+
+    # Convenience pass-throughs used heavily by the analyses.
+    @property
+    def time(self) -> float:
+        return self.record.time
+
+    @property
+    def prefix(self) -> Prefix:
+        return self.record.prefix
+
+    @property
+    def peer_asn(self) -> int:
+        return self.record.peer_asn
+
+    @property
+    def peer_id(self) -> int:
+        return self.record.peer_id
+
+    @property
+    def prefix_as(self) -> Tuple[Prefix, int]:
+        return self.record.prefix_as
+
+
+@dataclass
+class _RouteState:
+    """Classifier memory for one (peer, prefix) pair."""
+
+    reachable: bool = False
+    last_attributes: Optional[PathAttributes] = None
+    ever_announced: bool = False
+
+
+class StreamClassifier:
+    """Stateful classifier over a time-ordered update stream.
+
+    Use :meth:`feed` record-by-record (the simulator does) or
+    :func:`classify` over a whole iterable (the analyses do).  State
+    persists across calls, so a month can be fed day by day.
+    """
+
+    def __init__(self) -> None:
+        self._states: Dict[Tuple[int, Prefix], _RouteState] = {}
+
+    def feed(self, record: UpdateRecord) -> ClassifiedUpdate:
+        """Classify one record and update per-route state."""
+        key = (record.peer_id, record.prefix)
+        state = self._states.get(key)
+        if state is None:
+            state = self._states[key] = _RouteState()
+        if record.kind is UpdateKind.ANNOUNCE:
+            result = self._classify_announce(record, state)
+        else:
+            result = self._classify_withdraw(record, state)
+        return result
+
+    def _classify_announce(
+        self, record: UpdateRecord, state: _RouteState
+    ) -> ClassifiedUpdate:
+        attrs = record.attributes
+        assert attrs is not None  # enforced by UpdateRecord
+        previous = state.last_attributes
+        if not state.ever_announced:
+            category = UpdateCategory.NEW_ANNOUNCE
+            policy = False
+        elif state.reachable:
+            # Implicit withdrawal: the announcement replaces the route.
+            assert previous is not None
+            if attrs.same_forwarding(previous):
+                category = UpdateCategory.AADUP
+                policy = attrs != previous
+            else:
+                category = UpdateCategory.AADIFF
+                policy = False
+        else:
+            # Re-announcement after an explicit withdrawal.
+            assert previous is not None
+            if attrs.same_forwarding(previous):
+                category = UpdateCategory.WADUP
+            else:
+                category = UpdateCategory.WADIFF
+            policy = False
+        state.reachable = True
+        state.ever_announced = True
+        state.last_attributes = attrs
+        return ClassifiedUpdate(record, category, policy)
+
+    def _classify_withdraw(
+        self, record: UpdateRecord, state: _RouteState
+    ) -> ClassifiedUpdate:
+        if state.reachable:
+            state.reachable = False
+            return ClassifiedUpdate(record, UpdateCategory.PLAIN_WITHDRAW)
+        # Withdrawal of an already-unreachable (or never-announced)
+        # prefix: the paper's dominant pathology.  "Most of these WWDup
+        # withdrawals are transmitted by routers belonging to autonomous
+        # systems that never previously announced reachability for the
+        # withdrawn prefixes."
+        return ClassifiedUpdate(record, UpdateCategory.WWDUP)
+
+    # -- introspection ------------------------------------------------------
+
+    def is_reachable(self, peer_id: int, prefix: Prefix) -> bool:
+        state = self._states.get((peer_id, prefix))
+        return state.reachable if state else False
+
+    def tracked_routes(self) -> int:
+        """Number of (peer, prefix) pairs with state."""
+        return len(self._states)
+
+    def reset(self) -> None:
+        self._states.clear()
+
+
+def classify(
+    records: Iterable[UpdateRecord],
+    classifier: Optional[StreamClassifier] = None,
+) -> Iterator[ClassifiedUpdate]:
+    """Classify a whole record stream (assumed time-ordered).
+
+    Pass an existing ``classifier`` to continue from prior state — e.g.
+    when iterating a :class:`~repro.collector.store.DayStore` day by day
+    so cross-midnight sequences classify correctly.
+    """
+    classifier = classifier or StreamClassifier()
+    for record in records:
+        yield classifier.feed(record)

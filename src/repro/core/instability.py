@@ -1,0 +1,242 @@
+"""Instability metrics over classified update streams.
+
+Aggregations the paper's analyses and the benchmark harness share:
+
+- :class:`CategoryCounts` — per-category tallies with the paper's
+  instability / pathological / uncategorized roll-ups;
+- :func:`counts_by_peer`, :func:`counts_by_prefix_as` — the groupings
+  behind Figures 6 and 7;
+- :func:`detect_incidents` — the paper's "pathological routing
+  incident": a period where aggregate instability exceeds the normal
+  level by an order of magnitude or more;
+- :func:`persistence` — how long a route's information keeps
+  fluctuating before stabilizing (the paper: "the persistence of most
+  pathological BGP behaviors is under five minutes").
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..collector.record import PrefixAs
+from .classifier import ClassifiedUpdate
+from .taxonomy import (
+    INSTABILITY_CATEGORIES,
+    PATHOLOGICAL_CATEGORIES,
+    UpdateCategory,
+)
+
+__all__ = [
+    "CategoryCounts",
+    "counts_by_peer",
+    "counts_by_prefix_as",
+    "detect_incidents",
+    "persistence",
+    "Incident",
+]
+
+
+@dataclass
+class CategoryCounts:
+    """Tallies of classified updates, per category."""
+
+    counts: Counter = field(default_factory=Counter)
+    policy_changes: int = 0
+
+    def add(self, update: ClassifiedUpdate) -> None:
+        self.counts[update.category] += 1
+        if update.policy_change:
+            self.policy_changes += 1
+
+    def extend(self, updates: Iterable[ClassifiedUpdate]) -> None:
+        for update in updates:
+            self.add(update)
+
+    def __getitem__(self, category: UpdateCategory) -> int:
+        return self.counts.get(category, 0)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def instability(self) -> int:
+        """AADiff + WADiff + WADup (the paper's instability measure)."""
+        return sum(
+            self.counts.get(c, 0) for c in INSTABILITY_CATEGORIES
+        )
+
+    @property
+    def pathological(self) -> int:
+        """AADup + WWDup."""
+        return sum(
+            self.counts.get(c, 0) for c in PATHOLOGICAL_CATEGORIES
+        )
+
+    @property
+    def uncategorized(self) -> int:
+        return (
+            self.counts.get(UpdateCategory.NEW_ANNOUNCE, 0)
+            + self.counts.get(UpdateCategory.PLAIN_WITHDRAW, 0)
+        )
+
+    @property
+    def pathological_fraction(self) -> float:
+        """Share of all updates that are pathological (paper: ~99% once
+        WWDup storms are included)."""
+        return self.pathological / self.total if self.total else 0.0
+
+    def merged(self, other: "CategoryCounts") -> "CategoryCounts":
+        result = CategoryCounts()
+        result.counts = self.counts + other.counts
+        result.policy_changes = self.policy_changes + other.policy_changes
+        return result
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain dict keyed by category name (for reports/JSON)."""
+        return {cat.name: self.counts.get(cat, 0) for cat in UpdateCategory}
+
+
+def counts_by_peer(
+    updates: Iterable[ClassifiedUpdate],
+) -> Dict[int, CategoryCounts]:
+    """Per-peer-AS category counts (Figure 6's per-peer points)."""
+    result: Dict[int, CategoryCounts] = defaultdict(CategoryCounts)
+    for update in updates:
+        result[update.peer_asn].add(update)
+    return dict(result)
+
+
+def counts_by_prefix_as(
+    updates: Iterable[ClassifiedUpdate],
+    category: Optional[UpdateCategory] = None,
+) -> Dict[PrefixAs, int]:
+    """Events per Prefix+AS pair, optionally restricted to one category
+    (Figure 7's histogram input)."""
+    result: Counter = Counter()
+    for update in updates:
+        if category is None or update.category is category:
+            result[update.prefix_as] += 1
+    return dict(result)
+
+
+def counts_by_prefix(
+    updates: Iterable[ClassifiedUpdate],
+    category: Optional[UpdateCategory] = None,
+) -> Dict:
+    """Events per bare prefix (AS dimension collapsed).
+
+    The paper: "An investigation of instability aggregated on prefix
+    alone generated results similar to those shown in this section and
+    have been omitted" — this is that aggregation, so the claim can be
+    verified rather than taken on faith.
+    """
+    result: Counter = Counter()
+    for update in updates:
+        if category is None or update.category is category:
+            result[update.prefix] += 1
+    return dict(result)
+
+
+@dataclass(frozen=True)
+class Incident:
+    """A pathological routing incident: a bin whose update level
+    exceeds the baseline by ``magnitude`` orders of magnitude."""
+
+    start: float
+    end: float
+    updates: int
+    baseline: float
+    magnitude: float
+
+
+def detect_incidents(
+    bin_counts: Sequence[int],
+    bin_width: float,
+    threshold_orders: float = 1.0,
+) -> List[Incident]:
+    """Find pathological routing incidents in binned update counts.
+
+    The paper defines an incident as "a time when the aggregate level
+    of routing instability seen at an exchange point exceeds the normal
+    level of instability by one or more orders of magnitude."  The
+    *normal level* here is the median of the non-zero bins; a bin
+    qualifies when ``count >= baseline * 10**threshold_orders``.
+    Adjacent qualifying bins merge into one incident.
+    """
+    import math
+
+    nonzero = sorted(c for c in bin_counts if c > 0)
+    if not nonzero:
+        return []
+    baseline = float(nonzero[len(nonzero) // 2])
+    cutoff = baseline * (10.0 ** threshold_orders)
+    incidents: List[Incident] = []
+    run_start: Optional[int] = None
+    run_total = 0
+    for index, count in enumerate(bin_counts):
+        if count >= cutoff:
+            if run_start is None:
+                run_start = index
+                run_total = 0
+            run_total += count
+        elif run_start is not None:
+            incidents.append(
+                _make_incident(run_start, index, run_total, baseline, bin_width)
+            )
+            run_start = None
+    if run_start is not None:
+        incidents.append(
+            _make_incident(
+                run_start, len(bin_counts), run_total, baseline, bin_width
+            )
+        )
+    return incidents
+
+
+def _make_incident(
+    start_bin: int, end_bin: int, total: int, baseline: float, width: float
+) -> Incident:
+    import math
+
+    peak_ratio = total / max(baseline * (end_bin - start_bin), 1e-12)
+    return Incident(
+        start=start_bin * width,
+        end=end_bin * width,
+        updates=total,
+        baseline=baseline,
+        magnitude=math.log10(max(peak_ratio, 1e-12)),
+    )
+
+
+def persistence(
+    updates: Iterable[ClassifiedUpdate],
+    quiet_gap: float = 300.0,
+) -> Dict[PrefixAs, List[float]]:
+    """Fluctuation-episode durations per Prefix+AS pair.
+
+    Consecutive events for a pair belong to one episode while their
+    spacing stays under ``quiet_gap`` (default five minutes — the
+    paper's observed upper bound on pathological persistence); the
+    episode's persistence is last-event time minus first-event time.
+    Single-event episodes have persistence 0.
+    """
+    by_pair: Dict[PrefixAs, List[float]] = defaultdict(list)
+    for update in updates:
+        by_pair[update.prefix_as].append(update.time)
+    episodes: Dict[PrefixAs, List[float]] = {}
+    for pair, times in by_pair.items():
+        times.sort()
+        durations: List[float] = []
+        episode_start = times[0]
+        last = times[0]
+        for time in times[1:]:
+            if time - last > quiet_gap:
+                durations.append(last - episode_start)
+                episode_start = time
+            last = time
+        durations.append(last - episode_start)
+        episodes[pair] = durations
+    return episodes

@@ -1,0 +1,6 @@
+"""Experiment runners: one per paper table/figure, plus the headline
+pathology study and the countermeasure ablations."""
+
+from .registry import EXPERIMENTS, experiment_ids, run_experiment
+
+__all__ = ["EXPERIMENTS", "experiment_ids", "run_experiment"]

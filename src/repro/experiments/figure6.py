@@ -1,0 +1,122 @@
+"""Figure 6: AS contribution to routing updates vs table share.
+
+For every route-server peer and every day of August, Figure 6 plots
+the peer's share of the routing table (x) against its share of the
+day's updates (y), one panel per category (AADiff, WADiff, AADup,
+WADup).  Readings: points do not cluster on the break-even diagonal —
+"there is not a correlation between the size of an AS ... and its
+proportion of the instability statistics" — and "no single ISP
+consistently contributes disproportionately ... in all four
+categories."
+
+The reproduction materializes one simulated August of records (a pair
+subsample; shares are ratios, so subsampling cancels out), classifies
+them per day, and computes both checks per category.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..analysis.contribution import (
+    consistent_dominators,
+    contribution_points,
+    correlation,
+)
+from ..core.classifier import ClassifiedUpdate, StreamClassifier, classify
+from ..core.report import ExperimentResult, Table
+from ..core.taxonomy import FINE_GRAINED_CATEGORIES
+from ..workloads.generator import PeerPopulation, TraceGenerator
+
+__all__ = ["run", "AUGUST", "fine_grained_generator", "classified_month"]
+
+AUGUST = range(153, 184)
+
+
+def fine_grained_generator(seed: int, **generator_kwargs) -> TraceGenerator:
+    """A generator sized for record-tier (classifier-based) analyses.
+
+    The fine-grained figures need *unbiased* per-pair distributions,
+    which heavy pair-subsampling would distort (the rare heavy pairs
+    are exactly the tail under study).  A 4,000-pair population at
+    ``pair_fraction=1.0`` gives bias-free distributions at 1/10th the
+    real table size; shares and proportions are scale-free.
+    """
+    population = PeerPopulation.synthesize(
+        n_peers=30, total_prefixes=4000, seed=seed
+    )
+    return TraceGenerator(
+        population=population, seed=seed, **generator_kwargs
+    )
+
+
+def classified_month(
+    generator: TraceGenerator,
+    days: Sequence[int],
+    pair_fraction: float = 1.0,
+    warmup_days: int = 2,
+) -> Dict[int, List[ClassifiedUpdate]]:
+    """Materialize and classify a month of fine-grained records,
+    preserving classifier state across days (with a warm-up so WA*/AA*
+    states are populated).  WWDup is excluded — none of the
+    fine-grained figures (6, 7, 8) plot it."""
+    classifier = StreamClassifier()
+    first = min(days)
+    for day in range(first - warmup_days, first):
+        for _ in classify(
+            generator.day_records(
+                day, pair_fraction, categories=FINE_GRAINED_CATEGORIES
+            ),
+            classifier,
+        ):
+            pass
+    result: Dict[int, List[ClassifiedUpdate]] = {}
+    for day in days:
+        records = generator.day_records(
+            day, pair_fraction, categories=FINE_GRAINED_CATEGORIES
+        )
+        result[day] = list(classify(records, classifier))
+    return result
+
+
+def run(seed: int = 3) -> ExperimentResult:
+    generator = fine_grained_generator(seed)
+    daily = classified_month(generator, AUGUST)
+    shares = {
+        peer.asn: peer.table_share for peer in generator.population.peers
+    }
+
+    result = ExperimentResult(
+        "figure6", "AS contribution to updates vs routing-table share"
+    )
+    table = Table(
+        "Figure 6 — per-category correlation and dominators",
+        ["Category", "corr(table share, update share)", "consistent dominators"],
+    )
+    for category in FINE_GRAINED_CATEGORIES:
+        points = contribution_points(daily, shares, category)
+        corr = correlation(points)
+        dominators = consistent_dominators(points)
+        table.add_row(category.label, round(corr, 3), len(dominators))
+        result.record(
+            f"abs_correlation_{category.name.lower()}",
+            abs(corr),
+            # Share-proportional allocation would give ~0.95 here; the
+            # paper's claim ("few days cluster about the line") is
+            # qualitative, so anything well below that qualifies.
+            expect=(0.0, 0.5),
+        )
+        result.record(
+            f"consistent_dominators_{category.name.lower()}",
+            len(dominators),
+            expect=(0, 0),
+        )
+    result.tables.append(table)
+    # Table shares themselves are dominated by the big 6-8 ISPs.
+    top_share = sum(sorted(shares.values(), reverse=True)[:8])
+    result.record("top8_table_share", top_share, expect=(0.5, 0.95))
+    result.notes.append(
+        "Points per panel: one per (peer, day); correlations near zero "
+        "reproduce the paper's off-diagonal scatter."
+    )
+    return result

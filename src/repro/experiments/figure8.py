@@ -1,0 +1,132 @@
+"""Figure 8: inter-arrival time histograms with 30/60-second peaks.
+
+Per category, Figure 8 bins Prefix+AS inter-arrival times into log
+bins (1s..24h) and box-plots the daily proportions: "the predominant
+frequencies in each of the graphs are captured by the thirty second
+and one minute bins.  The fact that these frequencies account for half
+of the measured statistics was surprising."
+
+Two-part reproduction:
+
+1. **Statistical tier**: a simulated August's records → per-day
+   histograms → the paper's box statistics, checking the 30s+60s mass
+   per category.
+2. **Mechanism tier** (the *why*): an event-driven simulation where
+   the periodicities arise mechanistically — a CSU-oscillating link
+   (60 s line) and a misconfigured IGP/BGP redistribution plus a
+   stateless 30 s-timer router (30 s line) — measured by the same
+   analysis code.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..analysis.interarrival import (
+    daily_boxes,
+    histogram_proportions,
+    interarrival_times,
+    timer_bin_mass,
+)
+from ..collector.log import MemoryLog
+from ..core.classifier import classify
+from ..core.report import ExperimentResult, Series, Table
+from ..core.taxonomy import FINE_GRAINED_CATEGORIES, UpdateCategory
+from ..net.prefix import Prefix
+from ..sim.engine import Engine
+from ..sim.igp import IgpBgpRedistribution, IgpTable
+from ..sim.link import CsuLink
+from ..sim.router import Router, connect
+from ..sim.routeserver import RouteServer
+from .figure6 import AUGUST, classified_month, fine_grained_generator
+
+__all__ = ["run", "run_mechanisms"]
+
+
+def run_mechanisms(duration: float = 4 * 3600.0) -> List[float]:
+    """The mechanism tier: returns the gap list from an event-driven
+    simulation containing a CSU link and an IGP/BGP loop."""
+    engine = Engine()
+    sink = MemoryLog()
+    server = RouteServer(engine, asn=65000, router_id=99, sink=sink)
+    # Mechanism 1: customer behind a CSU-oscillating link (60s cycle).
+    provider_a = Router(engine, asn=100, router_id=1, mrai_interval=5.0)
+    customer = Router(engine, asn=300, router_id=3, mrai_interval=5.0)
+    csu = CsuLink(
+        engine, up_duration=55.0, down_duration=5.0, noise=0.01,
+    )
+    customer.add_peer(provider_a.router_id, provider_a.asn, csu)
+    provider_a.add_peer(customer.router_id, customer.asn, csu)
+    customer.start_session(provider_a.router_id)
+    customer.originate(Prefix.parse("203.0.113.0/24"))
+    connect(provider_a, server)
+    # Mechanism 2: misconfigured mutual IGP/BGP redistribution on a
+    # 30-second IGP timer.
+    provider_b = Router(engine, asn=200, router_id=2, mrai_interval=5.0)
+    igp = IgpTable()
+    igp.add_native(Prefix.parse("198.51.100.0/24"))
+    loop = IgpBgpRedistribution(engine, provider_b, igp, igp_period=30.0)
+    loop.start()
+    connect(provider_b, server)
+    engine.run_until(duration)
+    updates = list(classify(sink.sorted_by_time()))
+    return interarrival_times(updates)
+
+
+def run(seed: int = 4) -> ExperimentResult:
+    generator = fine_grained_generator(seed)
+    daily_map = classified_month(generator, AUGUST)
+    daily_list = [daily_map[day] for day in sorted(daily_map)]
+
+    result = ExperimentResult(
+        "figure8", "Inter-arrival histograms: the 30s/60s periodicity"
+    )
+    table = Table(
+        "Figure 8 — per-category bin boxes (median proportion)",
+        ["Category", "30s", "1m", "30s+1m mass", "largest other bin"],
+    )
+    for category in FINE_GRAINED_CATEGORIES:
+        boxes = daily_boxes(daily_list, category)
+        medians = [b.median for b in boxes]
+        mass = medians[2] + medians[3]
+        others = max(m for i, m in enumerate(medians) if i not in (2, 3))
+        table.add_row(
+            category.label,
+            round(medians[2], 3),
+            round(medians[3], 3),
+            round(mass, 3),
+            round(others, 3),
+        )
+        result.record(
+            f"timer_mass_{category.name.lower()}",
+            mass,
+            expect=(0.35, 0.75),
+        )
+        result.record(
+            f"timer_bins_dominate_{category.name.lower()}",
+            int(medians[2] >= others),
+            expect=(1, 1),
+        )
+    result.tables.append(table)
+
+    # Mechanism tier: the same peaks arise from actual CSU/IGP/timer
+    # machinery in the event simulation.
+    gaps = run_mechanisms()
+    proportions = histogram_proportions(gaps)
+    mech_series = Series("mechanism-tier bin proportions (1s..24h)")
+    for i, p in enumerate(proportions):
+        mech_series.add(i, round(p, 3))
+    result.series.append(mech_series)
+    result.record(
+        "mechanism_timer_mass",
+        timer_bin_mass(proportions),
+        expect=(0.5, 1.0),
+    )
+    result.notes.append(
+        "mechanism tier: CSU clock-drift link (60s) + misconfigured "
+        "IGP/BGP redistribution (30s) produce the same bins the "
+        "statistical tier is calibrated to."
+    )
+    return result

@@ -1,0 +1,71 @@
+"""The experiment registry: every table/figure/study by id.
+
+The benchmark harness and the examples look experiments up here, and
+EXPERIMENTS.md's per-experiment index mirrors this table.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core.report import ExperimentResult
+from . import (
+    ablations,
+    crossexchange,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    pathology,
+    table1,
+)
+
+__all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
+
+#: Experiment id → zero-argument runner returning ExperimentResult.
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "table1": table1.run,
+    "figure1": figure1.run,
+    "figure2": figure2.run,
+    "figure3": figure3.run,
+    "figure4": figure4.run,
+    "figure5": figure5.run,
+    "figure6": figure6.run,
+    "figure7": figure7.run,
+    "figure8": figure8.run,
+    "figure9": figure9.run,
+    "figure10": figure10.run,
+    "pathology": pathology.run,
+    "crossexchange": crossexchange.run,
+    "ablation-damping": ablations.run_damping_study,
+    "ablation-aggregation": ablations.run_aggregation_study,
+    "ablation-routeserver": ablations.run_route_server_study,
+    "ablation-sync": ablations.run_synchronization_study,
+    "ablation-storm": ablations.run_storm_study,
+    "ablation-cache": ablations.run_cache_study,
+    "ablation-convergence": ablations.run_convergence_study,
+    "ablation-filter": ablations.run_filter_study,
+}
+
+
+def experiment_ids() -> List[str]:
+    """All registered experiment ids, paper order first."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by id; raises KeyError for unknown ids."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(EXPERIMENTS)
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+    return runner()

@@ -1,0 +1,37 @@
+"""IP addressing substrate: prefixes, radix tries, aggregation, allocation."""
+
+from .prefix import MAX_PREFIX_LENGTH, Prefix, PrefixError, common_supernet, parse_many
+from .radix import RadixTree
+from .aggregation import (
+    aggregate,
+    aggregation_ratio,
+    covering_set,
+    deaggregate,
+    punch_hole,
+)
+from .addressing import (
+    AddressExhausted,
+    AddressPlan,
+    ProviderBlockAllocator,
+    SwampAllocator,
+    provider_allocator,
+)
+
+__all__ = [
+    "MAX_PREFIX_LENGTH",
+    "Prefix",
+    "PrefixError",
+    "common_supernet",
+    "parse_many",
+    "RadixTree",
+    "aggregate",
+    "aggregation_ratio",
+    "covering_set",
+    "deaggregate",
+    "punch_hole",
+    "AddressExhausted",
+    "AddressPlan",
+    "ProviderBlockAllocator",
+    "SwampAllocator",
+    "provider_allocator",
+]

@@ -1,0 +1,150 @@
+"""CIDR aggregation (supernetting).
+
+The paper repeatedly ties instability to the *quality of aggregation*: a
+well-aggregated provider announces a few supernets and absorbs customer
+flaps internally, while a poorly-aggregated provider leaks every /24.
+This module implements the aggregation machinery both the topology
+builder and the aggregation-ablation benchmark use:
+
+- :func:`aggregate` — maximal pairwise merging of sibling prefixes
+  (classic CIDR supernetting), optionally constrained to a minimum
+  prefix length.
+- :func:`aggregation_ratio` — how much a prefix set shrinks when
+  aggregated; the paper's informal "quality of aggregation" measure.
+- :func:`deaggregate` — split a supernet into more-specifics, modelling
+  multi-homing-driven breakup of aggregate blocks.
+- :func:`covering_set` — remove prefixes already covered by another
+  member (route-table redundancy elimination).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+from .prefix import Prefix, PrefixError
+
+__all__ = [
+    "aggregate",
+    "aggregation_ratio",
+    "covering_set",
+    "deaggregate",
+]
+
+
+def aggregate(
+    prefixes: Iterable[Prefix],
+    min_length: int = 0,
+) -> List[Prefix]:
+    """Maximally merge ``prefixes`` into the smallest equivalent set.
+
+    Two prefixes merge when they are siblings (the two halves of one
+    supernet); merging repeats until fixpoint.  Prefixes covered by
+    another member are dropped.  ``min_length`` stops merging above a
+    given mask length (providers do not announce their whole CIDR block
+    as 0.0.0.0/0).
+
+    The result covers exactly the same address space as the input.
+    """
+    current: Set[Prefix] = set(prefixes)
+    # Drop covered more-specifics first so sibling merging sees the
+    # minimal covering set.
+    current = set(covering_set(current))
+    changed = True
+    while changed:
+        changed = False
+        merged: Set[Prefix] = set()
+        done: Set[Prefix] = set()
+        for prefix in current:
+            if prefix in done:
+                continue
+            sibling = None
+            if prefix.length > min_length and prefix.length > 0:
+                sibling = prefix.sibling()
+            if sibling is not None and sibling in current and sibling not in done:
+                merged.add(prefix.supernet())
+                done.add(prefix)
+                done.add(sibling)
+                changed = True
+            else:
+                merged.add(prefix)
+                done.add(prefix)
+        if changed:
+            # A merge can create a prefix covering other members, and can
+            # enable further sibling merges; re-minimize and loop.
+            current = set(covering_set(merged))
+        else:
+            current = merged
+    return sorted(current)
+
+
+def covering_set(prefixes: Iterable[Prefix]) -> List[Prefix]:
+    """The subset of ``prefixes`` not covered by any other member.
+
+    Sorted output (address order, shortest first within an address).
+    """
+    ordered = sorted(set(prefixes))  # shorter prefixes sort first per network
+    result: List[Prefix] = []
+    for prefix in ordered:
+        if result and result[-1].covers(prefix):
+            continue
+        # Earlier entries with lower network addresses may still cover us;
+        # only the most recent kept entry can, because kept entries are
+        # disjoint and sorted.
+        result.append(prefix)
+    return result
+
+
+def aggregation_ratio(prefixes: Sequence[Prefix]) -> float:
+    """How well a prefix set aggregates: ``len(aggregated) / len(input)``.
+
+    1.0 means no aggregation possible; small values mean the set collapses
+    into few supernets.  Returns 1.0 for an empty input.
+    """
+    unique = set(prefixes)
+    if not unique:
+        return 1.0
+    return len(aggregate(unique)) / len(unique)
+
+
+def deaggregate(prefix: Prefix, new_length: int) -> List[Prefix]:
+    """Split ``prefix`` into all its ``/new_length`` components.
+
+    Models the multi-homing-driven breakup of aggregates the paper
+    describes (§3): a multi-homed customer's /24 must be globally
+    visible, so the provider's covering /16 no longer suffices.
+    """
+    if new_length < prefix.length:
+        raise PrefixError(
+            f"cannot deaggregate {prefix} to shorter /{new_length}"
+        )
+    return list(prefix.subnets(new_length))
+
+
+def punch_hole(prefix: Prefix, hole: Prefix) -> List[Prefix]:
+    """The minimal prefix set covering ``prefix`` minus ``hole``.
+
+    Used when a multi-homed customer takes its block to another provider:
+    the original provider keeps announcing the rest of its aggregate.
+    """
+    if not prefix.covers(hole):
+        raise PrefixError(f"{hole} is not inside {prefix}")
+    remainder: List[Prefix] = []
+    current = hole
+    while current != prefix:
+        remainder.append(current.sibling())
+        current = current.supernet()
+    return sorted(remainder)
+
+
+def table_compression_report(
+    tables: Dict[str, Sequence[Prefix]],
+) -> Dict[str, float]:
+    """Per-origin aggregation ratios for a set of named prefix tables.
+
+    Convenience used by the aggregation-quality ablation: maps each name
+    (e.g. an AS) to :func:`aggregation_ratio` of its announced prefixes.
+    """
+    return {
+        name: aggregation_ratio(list(prefixes))
+        for name, prefixes in tables.items()
+    }

@@ -1,0 +1,243 @@
+"""IPv4 prefix value type.
+
+The entire reproduction traffics in network-layer address blocks
+("prefixes" in the paper's terminology): BGP updates announce or withdraw
+reachability for a prefix, the default-free routing table is a set of
+prefixes, and aggregation combines prefixes into supernets.  This module
+provides a small, immutable, hashable :class:`Prefix` value type plus the
+arithmetic the rest of the library needs (containment, supernetting,
+subnetting, adjacency).
+
+We deliberately implement prefixes from scratch instead of wrapping
+:mod:`ipaddress`: the simulator creates and compares millions of prefixes,
+and a plain ``(int, int)`` tuple subclass with precomputed masks is both
+faster and simpler to reason about.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Prefix",
+    "PrefixError",
+    "MAX_PREFIX_LENGTH",
+]
+
+MAX_PREFIX_LENGTH = 32
+
+# Precomputed network masks indexed by prefix length: _MASKS[8] == 0xFF000000.
+_MASKS: Tuple[int, ...] = tuple(
+    (0xFFFFFFFF << (MAX_PREFIX_LENGTH - length)) & 0xFFFFFFFF
+    for length in range(MAX_PREFIX_LENGTH + 1)
+)
+
+
+class PrefixError(ValueError):
+    """Raised for malformed prefix strings or invalid prefix arithmetic."""
+
+
+def _octets_to_int(text: str) -> int:
+    """Parse dotted-quad ``text`` into a 32-bit integer."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise PrefixError(f"expected dotted quad, got {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise PrefixError(f"non-numeric octet in {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise PrefixError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def _int_to_octets(value: int) -> str:
+    """Render a 32-bit integer as a dotted quad."""
+    return ".".join(
+        str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+    )
+
+
+class Prefix(tuple):
+    """An immutable IPv4 prefix: a network address and a mask length.
+
+    ``Prefix`` is a ``tuple`` subclass holding ``(network, length)`` where
+    ``network`` is the 32-bit network address with host bits zeroed.  Being
+    a tuple makes instances hashable, totally ordered (network-major,
+    shorter-prefix-first within a network), and cheap to copy — properties
+    the radix trie, RIBs, and classifiers all rely on.
+
+    Examples
+    --------
+    >>> p = Prefix.parse("192.42.113.0/24")
+    >>> str(p)
+    '192.42.113.0/24'
+    >>> p in Prefix.parse("192.42.0.0/16")
+    True
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, network: int, length: int) -> "Prefix":
+        if not 0 <= length <= MAX_PREFIX_LENGTH:
+            raise PrefixError(f"prefix length {length} out of range")
+        if not 0 <= network <= 0xFFFFFFFF:
+            raise PrefixError(f"network address {network:#x} out of range")
+        masked = network & _MASKS[length]
+        if masked != network:
+            raise PrefixError(
+                f"host bits set: {_int_to_octets(network)}/{length}"
+            )
+        return tuple.__new__(cls, (network, length))
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``"a.b.c.d/len"`` (or a bare host address) into a Prefix.
+
+        A bare address without ``/len`` is treated as a /32 host route,
+        matching common router CLI behaviour.
+        """
+        text = text.strip()
+        if "/" in text:
+            addr_text, _, len_text = text.partition("/")
+            if not len_text.isdigit():
+                raise PrefixError(f"bad prefix length in {text!r}")
+            length = int(len_text)
+        else:
+            addr_text, length = text, MAX_PREFIX_LENGTH
+        return cls(_octets_to_int(addr_text), length)
+
+    @classmethod
+    def from_host(cls, text: str, length: int) -> "Prefix":
+        """Build a prefix from a host address, zeroing the host bits."""
+        if not 0 <= length <= MAX_PREFIX_LENGTH:
+            raise PrefixError(f"prefix length {length} out of range")
+        return cls(_octets_to_int(text) & _MASKS[length], length)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def network(self) -> int:
+        """The 32-bit network address (host bits zero)."""
+        return self[0]
+
+    @property
+    def length(self) -> int:
+        """The mask length (0..32)."""
+        return self[1]
+
+    @property
+    def netmask(self) -> int:
+        """The 32-bit network mask."""
+        return _MASKS[self[1]]
+
+    @property
+    def num_addresses(self) -> int:
+        """Number of addresses covered by this prefix."""
+        return 1 << (MAX_PREFIX_LENGTH - self[1])
+
+    @property
+    def broadcast(self) -> int:
+        """The highest address covered by this prefix."""
+        return self[0] | (~_MASKS[self[1]] & 0xFFFFFFFF)
+
+    def __str__(self) -> str:
+        return f"{_int_to_octets(self[0])}/{self[1]}"
+
+    def __repr__(self) -> str:
+        return f"Prefix({str(self)!r})"
+
+    # -- set relations -----------------------------------------------------
+
+    def covers(self, other: "Prefix") -> bool:
+        """True if ``other`` lies within this prefix (or equals it)."""
+        if other[1] < self[1]:
+            return False
+        return (other[0] & _MASKS[self[1]]) == self[0]
+
+    def covers_address(self, address: int) -> bool:
+        """True if the 32-bit ``address`` lies within this prefix."""
+        return (address & _MASKS[self[1]]) == self[0]
+
+    def __contains__(self, other: object) -> bool:
+        if isinstance(other, Prefix):
+            return self.covers(other)
+        if isinstance(other, int):
+            return self.covers_address(other)
+        return NotImplemented  # type: ignore[return-value]
+
+    def overlaps(self, other: "Prefix") -> bool:
+        """True if the two prefixes share any address."""
+        return self.covers(other) or other.covers(self)
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def supernet(self, new_length: Optional[int] = None) -> "Prefix":
+        """The enclosing prefix at ``new_length`` (default: one bit shorter)."""
+        if new_length is None:
+            new_length = self[1] - 1
+        if not 0 <= new_length <= self[1]:
+            raise PrefixError(
+                f"cannot widen {self} to /{new_length}"
+            )
+        return Prefix(self[0] & _MASKS[new_length], new_length)
+
+    def subnets(self, new_length: Optional[int] = None) -> Iterator["Prefix"]:
+        """Iterate the subnets of this prefix at ``new_length``.
+
+        Default is one bit longer (the two halves).  Raises if
+        ``new_length`` is shorter than this prefix's length.
+        """
+        if new_length is None:
+            new_length = self[1] + 1
+        if new_length < self[1] or new_length > MAX_PREFIX_LENGTH:
+            raise PrefixError(
+                f"cannot subnet {self} to /{new_length}"
+            )
+        step = 1 << (MAX_PREFIX_LENGTH - new_length)
+        for network in range(self[0], self.broadcast + 1, step):
+            yield Prefix(network, new_length)
+
+    def sibling(self) -> "Prefix":
+        """The other half of this prefix's parent (its aggregation partner)."""
+        if self[1] == 0:
+            raise PrefixError("0.0.0.0/0 has no sibling")
+        bit = 1 << (MAX_PREFIX_LENGTH - self[1])
+        return Prefix(self[0] ^ bit, self[1])
+
+    def is_aggregatable_with(self, other: "Prefix") -> bool:
+        """True if ``self`` and ``other`` merge exactly into one supernet."""
+        return self[1] == other[1] and self[1] > 0 and self.sibling() == other
+
+    def bit(self, index: int) -> int:
+        """The ``index``-th address bit (0 = most significant)."""
+        if not 0 <= index < MAX_PREFIX_LENGTH:
+            raise PrefixError(f"bit index {index} out of range")
+        return (self[0] >> (MAX_PREFIX_LENGTH - 1 - index)) & 1
+
+
+def common_supernet(prefixes: Sequence[Prefix]) -> Prefix:
+    """The longest prefix covering every prefix in ``prefixes``.
+
+    Raises :class:`PrefixError` on an empty sequence.
+    """
+    if not prefixes:
+        raise PrefixError("common_supernet of no prefixes")
+    lo = min(p.network for p in prefixes)
+    hi = max(p.broadcast for p in prefixes)
+    length = min(p.length for p in prefixes)
+    while length > 0 and (
+        (lo & _MASKS[length]) != (hi & _MASKS[length])
+    ):
+        length -= 1
+    # Also never exceed the shortest member's own length.
+    return Prefix(lo & _MASKS[length], length)
+
+
+def parse_many(texts: Sequence[str]) -> List[Prefix]:
+    """Parse a sequence of prefix strings; convenience for tests/examples."""
+    return [Prefix.parse(text) for text in texts]

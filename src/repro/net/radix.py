@@ -1,0 +1,336 @@
+"""Patricia/radix trie keyed by IPv4 prefixes.
+
+The routing tables in this reproduction — router Loc-RIBs, route-server
+views, the classifier's per-prefix state — all need longest-prefix match
+and covered-prefix enumeration.  This is the classic binary radix trie used
+by real routing software, implemented with path compression (internal
+nodes exist only at branching points or where values are stored).
+
+The trie maps :class:`~repro.net.prefix.Prefix` keys to arbitrary values.
+It supports exact lookup, longest-prefix match on addresses or prefixes,
+subtree enumeration, and deletion with node merging.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from .prefix import MAX_PREFIX_LENGTH, Prefix
+
+__all__ = ["RadixTree"]
+
+V = TypeVar("V")
+
+_SENTINEL = object()
+
+
+class _Node(Generic[V]):
+    """A trie node covering ``prefix``; may or may not hold a value."""
+
+    __slots__ = ("prefix", "value", "left", "right")
+
+    def __init__(self, prefix: Prefix) -> None:
+        self.prefix = prefix
+        self.value: object = _SENTINEL
+        self.left: Optional["_Node[V]"] = None
+        self.right: Optional["_Node[V]"] = None
+
+    @property
+    def has_value(self) -> bool:
+        return self.value is not _SENTINEL
+
+
+def _branch_bit(prefix: Prefix, node_prefix: Prefix) -> int:
+    """The child slot (0/1) under ``node_prefix`` on the way to ``prefix``."""
+    return prefix.bit(node_prefix.length)
+
+
+class RadixTree(Generic[V]):
+    """A path-compressed binary trie from prefixes to values.
+
+    Examples
+    --------
+    >>> tree = RadixTree()
+    >>> tree[Prefix.parse("10.0.0.0/8")] = "supernet"
+    >>> tree[Prefix.parse("10.1.0.0/16")] = "more specific"
+    >>> tree.lookup_best(Prefix.parse("10.1.2.0/24")).value
+    'more specific'
+    """
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node[V]] = None
+        self._size = 0
+
+    # -- basic protocol ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        node = self._find_exact(prefix)
+        return node is not None and node.has_value
+
+    def __getitem__(self, prefix: Prefix) -> V:
+        node = self._find_exact(prefix)
+        if node is None or not node.has_value:
+            raise KeyError(prefix)
+        return node.value  # type: ignore[return-value]
+
+    def __setitem__(self, prefix: Prefix, value: V) -> None:
+        self.insert(prefix, value)
+
+    def __delitem__(self, prefix: Prefix) -> None:
+        if not self.delete(prefix):
+            raise KeyError(prefix)
+
+    def __iter__(self) -> Iterator[Prefix]:
+        for prefix, _ in self.items():
+            yield prefix
+
+    def get(self, prefix: Prefix, default: Optional[V] = None) -> Optional[V]:
+        """The value stored exactly at ``prefix``, or ``default``."""
+        node = self._find_exact(prefix)
+        if node is None or not node.has_value:
+            return default
+        return node.value  # type: ignore[return-value]
+
+    # -- insertion -------------------------------------------------------------
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Store ``value`` at ``prefix``, replacing any existing value."""
+        if self._root is None:
+            self._root = _Node(prefix)
+            self._root.value = value
+            self._size += 1
+            return
+        parent: Optional[_Node[V]] = None
+        parent_slot = 0
+        node = self._root
+        while True:
+            if node.prefix == prefix:
+                if not node.has_value:
+                    self._size += 1
+                node.value = value
+                return
+            if node.prefix.covers(prefix):
+                slot = _branch_bit(prefix, node.prefix)
+                child = node.right if slot else node.left
+                if child is None:
+                    leaf: _Node[V] = _Node(prefix)
+                    leaf.value = value
+                    self._attach(node, slot, leaf)
+                    self._size += 1
+                    return
+                parent, parent_slot, node = node, slot, child
+                continue
+            # ``node.prefix`` does not cover ``prefix``: splice in a new
+            # node at their meet point (either ``prefix`` itself if it
+            # covers ``node.prefix``, or a glue node covering both).
+            self._splice(parent, parent_slot, node, prefix, value)
+            self._size += 1
+            return
+
+    def _attach(self, parent: _Node[V], slot: int, child: _Node[V]) -> None:
+        if slot:
+            parent.right = child
+        else:
+            parent.left = child
+
+    def _replace_child(
+        self,
+        parent: Optional[_Node[V]],
+        slot: int,
+        new_child: Optional[_Node[V]],
+    ) -> None:
+        if parent is None:
+            self._root = new_child
+        elif slot:
+            parent.right = new_child
+        else:
+            parent.left = new_child
+
+    def _splice(
+        self,
+        parent: Optional[_Node[V]],
+        parent_slot: int,
+        node: _Node[V],
+        prefix: Prefix,
+        value: V,
+    ) -> None:
+        """Insert ``prefix`` above/alongside ``node`` below ``parent``."""
+        from .prefix import common_supernet
+
+        if prefix.covers(node.prefix):
+            new_node: _Node[V] = _Node(prefix)
+            new_node.value = value
+            slot = _branch_bit(node.prefix, prefix)
+            self._attach(new_node, slot, node)
+            self._replace_child(parent, parent_slot, new_node)
+            return
+        glue_prefix = common_supernet([prefix, node.prefix])
+        glue: _Node[V] = _Node(glue_prefix)
+        leaf: _Node[V] = _Node(prefix)
+        leaf.value = value
+        self._attach(glue, _branch_bit(node.prefix, glue_prefix), node)
+        self._attach(glue, _branch_bit(prefix, glue_prefix), leaf)
+        self._replace_child(parent, parent_slot, glue)
+
+    # -- search ------------------------------------------------------------------
+
+    def _find_exact(self, prefix: Prefix) -> Optional[_Node[V]]:
+        node = self._root
+        while node is not None:
+            if node.prefix == prefix:
+                return node
+            if not node.prefix.covers(prefix):
+                return None
+            slot = _branch_bit(prefix, node.prefix)
+            node = node.right if slot else node.left
+        return None
+
+    def lookup_best(self, prefix: Prefix) -> Optional[Tuple[Prefix, V]]:
+        """Longest-prefix match: the most specific stored prefix covering
+        ``prefix`` (which may be a /32 host route).  Returns a
+        ``(prefix, value)`` named-access tuple or ``None``.
+        """
+        best: Optional[_Node[V]] = None
+        node = self._root
+        while node is not None and node.prefix.covers(prefix):
+            if node.has_value:
+                best = node
+            if node.prefix == prefix:
+                break
+            slot = _branch_bit(prefix, node.prefix)
+            node = node.right if slot else node.left
+        if best is None:
+            return None
+        return _Match(best.prefix, best.value)  # type: ignore[arg-type]
+
+    def lookup_address(self, address: int) -> Optional[Tuple[Prefix, V]]:
+        """Longest-prefix match for a 32-bit host address."""
+        return self.lookup_best(Prefix(address, MAX_PREFIX_LENGTH))
+
+    def covered(self, prefix: Prefix) -> Iterator[Tuple[Prefix, V]]:
+        """Iterate stored ``(prefix, value)`` pairs lying within ``prefix``."""
+        node = self._root
+        # Descend until the current node is inside ``prefix`` or diverges.
+        while node is not None and not prefix.covers(node.prefix):
+            if not node.prefix.covers(prefix):
+                return
+            slot = _branch_bit(prefix, node.prefix)
+            node = node.right if slot else node.left
+        if node is None:
+            return
+        yield from self._walk(node)
+
+    def covering(self, prefix: Prefix) -> Iterator[Tuple[Prefix, V]]:
+        """Iterate stored pairs whose prefix covers ``prefix``
+        (shortest first, i.e. least specific to most specific)."""
+        node = self._root
+        while node is not None and node.prefix.covers(prefix):
+            if node.has_value:
+                yield (node.prefix, node.value)  # type: ignore[misc]
+            if node.prefix == prefix:
+                return
+            slot = _branch_bit(prefix, node.prefix)
+            node = node.right if slot else node.left
+
+    def items(self) -> Iterator[Tuple[Prefix, V]]:
+        """Iterate all stored pairs in address order."""
+        if self._root is not None:
+            yield from self._walk(self._root)
+
+    def keys(self) -> Iterator[Prefix]:
+        for prefix, _ in self.items():
+            yield prefix
+
+    def values(self) -> Iterator[V]:
+        for _, value in self.items():
+            yield value
+
+    def _walk(self, node: _Node[V]) -> Iterator[Tuple[Prefix, V]]:
+        stack: List[_Node[V]] = [node]
+        while stack:
+            current = stack.pop()
+            if current.has_value:
+                yield (current.prefix, current.value)  # type: ignore[misc]
+            # Push right first so the left (lower addresses) pops first.
+            if current.right is not None:
+                stack.append(current.right)
+            if current.left is not None:
+                stack.append(current.left)
+
+    # -- deletion ---------------------------------------------------------------
+
+    def delete(self, prefix: Prefix) -> bool:
+        """Remove the value at ``prefix``; True if something was removed."""
+        parent: Optional[_Node[V]] = None
+        parent_slot = 0
+        grandparent: Optional[_Node[V]] = None
+        grandparent_slot = 0
+        node = self._root
+        while node is not None and node.prefix != prefix:
+            if not node.prefix.covers(prefix):
+                return False
+            slot = _branch_bit(prefix, node.prefix)
+            grandparent, grandparent_slot = parent, parent_slot
+            parent, parent_slot = node, slot
+            node = node.right if slot else node.left
+        if node is None or not node.has_value:
+            return False
+        node.value = _SENTINEL
+        self._size -= 1
+        self._prune(grandparent, grandparent_slot, parent, parent_slot, node)
+        return True
+
+    def _prune(
+        self,
+        grandparent: Optional[_Node[V]],
+        grandparent_slot: int,
+        parent: Optional[_Node[V]],
+        parent_slot: int,
+        node: _Node[V],
+    ) -> None:
+        """Collapse ``node`` if it became a valueless leaf or pass-through."""
+        children = [c for c in (node.left, node.right) if c is not None]
+        if len(children) == 2:
+            return  # still a branching point
+        replacement = children[0] if children else None
+        self._replace_child(parent, parent_slot, replacement)
+        # The parent may now itself be a valueless pass-through glue node.
+        if (
+            parent is not None
+            and not parent.has_value
+        ):
+            parent_children = [
+                c for c in (parent.left, parent.right) if c is not None
+            ]
+            if len(parent_children) == 1:
+                self._replace_child(
+                    grandparent, grandparent_slot, parent_children[0]
+                )
+
+    def clear(self) -> None:
+        """Remove everything."""
+        self._root = None
+        self._size = 0
+
+
+class _Match(tuple):
+    """A ``(prefix, value)`` result with attribute access."""
+
+    __slots__ = ()
+
+    def __new__(cls, prefix: Prefix, value: object) -> "_Match":
+        return tuple.__new__(cls, (prefix, value))
+
+    @property
+    def prefix(self) -> Prefix:
+        return self[0]
+
+    @property
+    def value(self) -> object:
+        return self[1]

@@ -1,0 +1,49 @@
+"""Discrete-event simulation substrate: engine, timers, links, routers,
+route servers, IGP interaction, fault injection, storms, and the
+Floyd-Jacobson synchronization model."""
+
+from .engine import Engine, EventHandle, SimulationError
+from .timers import DEFAULT_MRAI, IntervalTimer, MraiBatcher
+from .link import CsuLink, Link
+from .router import CpuModel, RouteCache, Router, connect
+from .routeserver import RouteServer
+from .igp import IgpBgpRedistribution, IgpTable, RouteSource
+from .faults import (
+    CustomerFlapGenerator,
+    MaintenanceWindow,
+    MisconfiguredProvider,
+    PoissonLinkFlapper,
+)
+from .flapstorm import FlapStormScenario, StormResult
+from .sync import PeriodicRouter, SynchronizationStudy, phase_coherence
+from .trafficgen import ForwardingWorkload, TrafficStats
+
+__all__ = [
+    "Engine",
+    "EventHandle",
+    "SimulationError",
+    "DEFAULT_MRAI",
+    "IntervalTimer",
+    "MraiBatcher",
+    "CsuLink",
+    "Link",
+    "CpuModel",
+    "RouteCache",
+    "Router",
+    "connect",
+    "RouteServer",
+    "IgpBgpRedistribution",
+    "IgpTable",
+    "RouteSource",
+    "CustomerFlapGenerator",
+    "MaintenanceWindow",
+    "MisconfiguredProvider",
+    "PoissonLinkFlapper",
+    "FlapStormScenario",
+    "StormResult",
+    "PeriodicRouter",
+    "SynchronizationStudy",
+    "phase_coherence",
+    "ForwardingWorkload",
+    "TrafficStats",
+]

@@ -1,0 +1,144 @@
+"""Discrete-event simulation engine.
+
+A minimal, deterministic event scheduler: callbacks are ordered by
+(time, sequence number), so two events at the same instant fire in
+scheduling order and runs are exactly reproducible.  All the mechanism
+models (routers, links, timers, fault injectors) hang off one
+:class:`Engine`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+__all__ = ["Engine", "EventHandle", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduling errors (e.g. events in the past)."""
+
+
+class EventHandle:
+    """A scheduled event; supports cancellation."""
+
+    __slots__ = ("time", "callback", "args", "cancelled", "seq")
+
+    def __init__(
+        self, time: float, seq: int, callback: Callable, args: tuple
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (O(1); the queue entry is
+        skipped when popped)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Engine:
+    """The event queue and simulation clock.
+
+    Examples
+    --------
+    >>> engine = Engine()
+    >>> fired = []
+    >>> _ = engine.schedule(5.0, fired.append, "hello")
+    >>> engine.run_until(10.0)
+    >>> fired
+    ['hello']
+    >>> engine.now
+    10.0
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._queue: List[EventHandle] = []
+        self._seq = itertools.count()
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule(
+        self, delay: float, callback: Callable, *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(
+        self, time: float, callback: Callable, *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before now ({self._now})"
+            )
+        handle = EventHandle(time, next(self._seq), callback, args)
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    # -- execution ---------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process the next pending event; False if the queue is empty."""
+        while self._queue:
+            handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = handle.time
+            handle.callback(*handle.args)
+            self.events_processed += 1
+            return True
+        return False
+
+    def run_until(self, end_time: float, max_events: Optional[int] = None) -> int:
+        """Run events with time <= ``end_time``; advance the clock to
+        ``end_time``.  Returns the number of events processed."""
+        processed = 0
+        while self._queue and (max_events is None or processed < max_events):
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > end_time:
+                break
+            self.step()
+            processed += 1
+        if self._now < end_time:
+            self._now = end_time
+        return processed
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``max_events``)."""
+        processed = 0
+        while self.step():
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                break
+        return processed
+
+    @property
+    def pending(self) -> int:
+        """Events still queued (including cancelled placeholders)."""
+        return sum(1 for h in self._queue if not h.cancelled)
+
+    def next_event_time(self) -> Optional[float]:
+        """When the next live event fires, or None."""
+        for handle in sorted(self._queue):
+            if not handle.cancelled:
+                return handle.time
+        return None

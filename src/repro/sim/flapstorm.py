@@ -1,0 +1,191 @@
+"""Route-flap storm dynamics.
+
+The paper (§3): "a router which fails under heavy routing instability
+can instigate a 'route flap storm.'  ...overloaded routers are marked
+as unreachable by BGP peers as they fail to maintain the required
+interval of Keep-Alive transmissions.  As routers are marked as
+unreachable, peer routers will choose alternative paths... and will
+transmit updates reflecting the change in topology to each of their
+peers.  In turn, after recovering..., the 'down' router will attempt to
+re-initiate a BGP peering session with each of its peer routers,
+generating large state dump transmissions.  This increased load will
+cause yet more routers to fail..."
+
+:class:`FlapStormScenario` builds a full mesh of CPU-limited routers
+carrying a route table, injects a seed burst of prefix flaps at one
+router, and measures the cascade: session drops over time, update
+volume, and whether prioritizing keepalives (the vendors' eventual fix,
+modelled by exempting keepalives from the CPU queue) contains the
+storm.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..net.prefix import Prefix
+from .engine import Engine
+from .router import CpuModel, Router, connect
+
+__all__ = ["FlapStormScenario", "StormResult"]
+
+
+@dataclass
+class StormResult:
+    """What a storm run produced."""
+
+    session_drops: int = 0
+    total_updates_sent: int = 0
+    crashes: int = 0
+    drop_times: List[float] = field(default_factory=list)
+
+    @property
+    def stormed(self) -> bool:
+        """True if the failure spread beyond the seed router's own
+        sessions (the storm ignited)."""
+        return self.session_drops > 0
+
+
+class FlapStormScenario:
+    """A configurable flap-storm testbed (see module docstring).
+
+    Parameters
+    ----------
+    n_routers:
+        Mesh size (full mesh, like exchange-point bilateral peering).
+    prefixes_per_router:
+        Each router originates this many /24s; the table everyone
+        carries is ``n_routers * prefixes_per_router`` routes.
+    cpu:
+        The shared CPU cost model; slower CPUs storm sooner.
+    keepalive_priority:
+        The modern-router fix: "BGP traffic is given a higher priority
+        and Keep-Alive messages persist even under heavy instability."
+        When True keepalives bypass the CPU queue.
+    hold_time:
+        Session hold time; shorter means less tolerance for delay.
+    """
+
+    def __init__(
+        self,
+        n_routers: int = 6,
+        prefixes_per_router: int = 60,
+        cpu: Optional[CpuModel] = None,
+        keepalive_priority: bool = False,
+        hold_time: float = 30.0,
+        mrai_interval: float = 5.0,
+        seed: int = 0,
+    ) -> None:
+        self.engine = Engine()
+        self.cpu = cpu or CpuModel(per_update=0.02, per_sent_update=0.01)
+        self.keepalive_priority = keepalive_priority
+        self.rng = random.Random(seed)
+        self.routers: List[Router] = []
+        base = 10 * (1 << 24)
+        for i in range(n_routers):
+            router = Router(
+                self.engine,
+                asn=100 + i,
+                router_id=(192 << 24) + i + 1,
+                cpu=self.cpu,
+                hold_time=hold_time,
+                mrai_interval=mrai_interval,
+                mrai_jitter=0.25,
+                rng=random.Random(seed + i),
+            )
+            if keepalive_priority:
+                self._prioritize_keepalives(router)
+            self.routers.append(router)
+        # Originations: distinct /24s per router.
+        prefix_index = 0
+        for router in self.routers:
+            for _ in range(prefixes_per_router):
+                router.originate(Prefix(base + prefix_index * 256, 24))
+                prefix_index += 1
+        # Full mesh.
+        for i, a in enumerate(self.routers):
+            for b in self.routers[i + 1:]:
+                connect(a, b)
+
+    def _prioritize_keepalives(self, router: Router) -> None:
+        """Patch the router so keepalive work bypasses the CPU queue."""
+        original = router._run_actions
+
+        def prioritized(peer_id, actions):
+            from ..bgp.session import ActionKind
+
+            for action in actions:
+                if action.kind is ActionKind.SEND_KEEPALIVE:
+                    router.keepalives_sent += 1
+                    router._transmit(peer_id, action.message)
+                else:
+                    original(peer_id, [action])
+
+        router._run_actions = prioritized
+
+    # -- running ------------------------------------------------------------
+
+    def settle(self, duration: float = 120.0) -> None:
+        """Let sessions establish and tables converge."""
+        self.engine.run_until(self.engine.now + duration)
+
+    def established_sessions(self) -> int:
+        return sum(
+            1
+            for router in self.routers
+            for session in router.sessions.values()
+            if session.is_established
+        )
+
+    def inject_burst(
+        self,
+        victim_index: int = 0,
+        flaps: int = 200,
+        over_seconds: float = 10.0,
+    ) -> None:
+        """Flap the victim's originated prefixes rapidly."""
+        victim = self.routers[victim_index]
+        prefixes = victim.originated
+        for i in range(flaps):
+            at = self.engine.now + (i / flaps) * over_seconds
+            prefix = prefixes[i % len(prefixes)]
+            self.engine.schedule_at(
+                at, victim.flap_origin, prefix, 0.5
+            )
+
+    def run_storm(
+        self,
+        flaps: int = 200,
+        over_seconds: float = 10.0,
+        observe_for: float = 300.0,
+    ) -> StormResult:
+        """Settle, inject, observe; returns cascade metrics."""
+        self.settle()
+        drops_before = self._total_drops()
+        self.inject_burst(flaps=flaps, over_seconds=over_seconds)
+        self.engine.run_until(self.engine.now + observe_for)
+        result = StormResult()
+        result.session_drops = self._total_drops() - drops_before
+        result.total_updates_sent = sum(
+            r.updates_sent for r in self.routers
+        )
+        result.crashes = sum(r.crash_count for r in self.routers)
+        for router in self.routers:
+            for session in router.sessions.values():
+                result.drop_times.extend(
+                    t.time
+                    for t in session.fsm.history
+                    if t.before.name == "ESTABLISHED"
+                    and t.after.name != "ESTABLISHED"
+                )
+        result.drop_times.sort()
+        return result
+
+    def _total_drops(self) -> int:
+        return sum(
+            session.fsm.drop_count
+            for router in self.routers
+            for session in router.sessions.values()
+        )

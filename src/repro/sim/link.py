@@ -1,0 +1,215 @@
+"""Links between routers, including the CSU clock-drift oscillation.
+
+A :class:`Link` carries messages between two endpoints with a fixed
+propagation delay and an up/down state; when it goes down, in-flight
+messages are lost and both endpoints are notified (their interface
+cards "are sensitive to millisecond loss of line carrier and will flag
+the link as down").
+
+:class:`CsuLink` adds the paper's CSU pathology (§4.2): a leased line
+whose two Channel Service Units derive their clocks from different
+sources drifts in and out of alignment, producing *periodic* carrier
+loss.  The resulting up/down cycle has a near-constant period — which
+is how physical-layer misconfiguration manufactures the periodic
+WADup oscillations the classifier sees.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from .engine import Engine, EventHandle
+
+__all__ = ["Link", "CsuLink"]
+
+
+class Link:
+    """A bidirectional point-to-point link.
+
+    Endpoints register ``(deliver, link_up, link_down)`` callback
+    triples via :meth:`attach`.  Messages are delivered after
+    ``delay`` seconds unless the link drops in the meantime.
+
+    With ``wire=True`` every message is serialized to its RFC 4271
+    byte form on send and re-parsed on delivery — full wire fidelity
+    inside the simulator (and byte counters for capacity studies), at
+    a CPU cost.  The default object-passing mode is semantically
+    identical because the codec round-trips exactly (property-tested
+    in ``tests/test_wire.py``).
+    """
+
+    def __init__(
+        self, engine: Engine, delay: float = 0.01, wire: bool = False
+    ) -> None:
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.engine = engine
+        self.delay = delay
+        self.wire = wire
+        self.is_up = True
+        self._endpoints: List[dict] = []
+        self._in_flight: List[EventHandle] = []
+        self.messages_delivered = 0
+        self.messages_lost = 0
+        self.bytes_carried = 0
+        self.down_count = 0
+
+    def attach(
+        self,
+        endpoint_id: int,
+        deliver: Callable[[int, object], None],
+        on_up: Optional[Callable[[], None]] = None,
+        on_down: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Register an endpoint.  ``deliver(sender_id, message)`` is
+        called for traffic addressed to this endpoint."""
+        if len(self._endpoints) >= 2:
+            raise ValueError("point-to-point link already has two endpoints")
+        self._endpoints.append(
+            {
+                "id": endpoint_id,
+                "deliver": deliver,
+                "on_up": on_up,
+                "on_down": on_down,
+            }
+        )
+
+    def send(self, sender_id: int, message: object) -> bool:
+        """Transmit ``message`` from ``sender_id`` to the other end.
+
+        Returns False (message lost) when the link is down.
+        """
+        if not self.is_up:
+            self.messages_lost += 1
+            return False
+        if self.wire:
+            from ..bgp.wire import encode_message
+
+            message = encode_message(message)
+            self.bytes_carried += len(message)
+        receiver = self._other(sender_id)
+        handle = self.engine.schedule(
+            self.delay, self._deliver, receiver, sender_id, message
+        )
+        self._in_flight.append(handle)
+        if len(self._in_flight) > 256:
+            # Compact delivered/cancelled entries so long simulations
+            # don't accumulate dead handles.
+            now = self.engine.now
+            self._in_flight = [
+                h for h in self._in_flight
+                if not h.cancelled and h.time > now
+            ]
+        return True
+
+    def _deliver(self, receiver: dict, sender_id: int, message: object) -> None:
+        # Link may have dropped while the message was in flight.
+        if not self.is_up:
+            self.messages_lost += 1
+            return
+        self.messages_delivered += 1
+        if self.wire:
+            from ..bgp.wire import decode_message
+
+            message, _ = decode_message(message)
+        receiver["deliver"](sender_id, message)
+
+    def _other(self, endpoint_id: int) -> dict:
+        for endpoint in self._endpoints:
+            if endpoint["id"] != endpoint_id:
+                return endpoint
+        raise ValueError(f"endpoint {endpoint_id} not attached to link")
+
+    # -- state changes -----------------------------------------------------
+
+    def go_down(self) -> None:
+        """Drop the link: lose in-flight traffic, notify endpoints."""
+        if not self.is_up:
+            return
+        self.is_up = False
+        self.down_count += 1
+        for handle in self._in_flight:
+            handle.cancel()
+        self.messages_lost += len(self._in_flight)
+        self._in_flight.clear()
+        for endpoint in self._endpoints:
+            if endpoint["on_down"] is not None:
+                endpoint["on_down"]()
+
+    def go_up(self) -> None:
+        """Restore the link and notify endpoints."""
+        if self.is_up:
+            return
+        self.is_up = True
+        for endpoint in self._endpoints:
+            if endpoint["on_up"] is not None:
+                endpoint["on_up"]()
+
+
+class CsuLink(Link):
+    """A leased line with misconfigured CSU clocking.
+
+    The drift between the two clock sources causes the line to cycle:
+    up for ``up_duration`` seconds, then down for ``down_duration``
+    while the CSUs re-handshake.  Small multiplicative noise keeps the
+    cycle from being perfectly crystalline (real CSUs re-train with
+    slightly variable timing) while preserving the dominant period.
+
+    Defaults give a 60-second dominant cycle — one of the two
+    periodicities in Figure 8.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        delay: float = 0.01,
+        up_duration: float = 55.0,
+        down_duration: float = 5.0,
+        noise: float = 0.02,
+        rng: Optional[random.Random] = None,
+        start_oscillating: bool = True,
+    ) -> None:
+        super().__init__(engine, delay)
+        if up_duration <= 0 or down_duration <= 0:
+            raise ValueError("durations must be positive")
+        self.up_duration = up_duration
+        self.down_duration = down_duration
+        self.noise = noise
+        self.rng = rng or random.Random(0)
+        self._oscillating = False
+        if start_oscillating:
+            self.start_oscillating()
+
+    @property
+    def period(self) -> float:
+        """The dominant oscillation period."""
+        return self.up_duration + self.down_duration
+
+    def _noisy(self, duration: float) -> float:
+        if self.noise == 0.0:
+            return duration
+        return duration * self.rng.uniform(1.0 - self.noise, 1.0 + self.noise)
+
+    def start_oscillating(self) -> None:
+        """Begin the carrier-loss cycle."""
+        if self._oscillating:
+            return
+        self._oscillating = True
+        self.engine.schedule(self._noisy(self.up_duration), self._drop)
+
+    def stop_oscillating(self) -> None:
+        """Fix the CSU configuration: the line stays up from the next
+        recovery onward."""
+        self._oscillating = False
+
+    def _drop(self) -> None:
+        if not self._oscillating:
+            return
+        self.go_down()
+        self.engine.schedule(self._noisy(self.down_duration), self._recover)
+
+    def _recover(self) -> None:
+        self.go_up()
+        if self._oscillating:
+            self.engine.schedule(self._noisy(self.up_duration), self._drop)

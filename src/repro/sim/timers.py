@@ -1,0 +1,162 @@
+"""Interval timers: the 30-second heartbeat behind the paper's spectra.
+
+The paper traces its 30/60-second periodicity to "a popular router
+vendor's inclusion of an unjittered 30 second interval timer on BGP's
+update processing" (§4.2).  Two timer disciplines are modelled:
+
+- **unjittered** — fires at exact multiples of the interval, phase-
+  aligned to the configured origin.  All unjittered routers booted at
+  the same origin share firing instants, and even routers with offset
+  phases drift into lockstep under weak coupling (see
+  :mod:`repro.sim.sync`).
+- **jittered** — each period is drawn uniformly from
+  ``[interval * (1 - jitter), interval]``, the RFC 4271 MinRouteAdver-
+  tisementInterval recommendation that breaks synchronization.
+
+:class:`IntervalTimer` is engine-attached and drives a callback;
+:class:`MraiBatcher` is the per-peer output-batching discipline routers
+use (accumulate route changes, flush on expiry).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Set
+
+from .engine import Engine, EventHandle
+
+__all__ = ["IntervalTimer", "MraiBatcher", "DEFAULT_MRAI"]
+
+#: The interval at the heart of the paper's findings.
+DEFAULT_MRAI = 30.0
+
+
+class IntervalTimer:
+    """A repeating timer with optional jitter.
+
+    ``jitter`` is the fractional shortening range: 0.0 gives exact
+    periods (the pathological unjittered discipline); 0.25 gives the
+    recommended ``uniform(0.75, 1.0) * interval``.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        interval: float,
+        callback: Callable[[], None],
+        jitter: float = 0.0,
+        rng: Optional[random.Random] = None,
+        phase: float = 0.0,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        self.engine = engine
+        self.interval = interval
+        self.callback = callback
+        self.jitter = jitter
+        self.rng = rng or random.Random(0)
+        self.phase = phase
+        self.fire_count = 0
+        self._handle: Optional[EventHandle] = None
+        self._running = False
+
+    def start(self) -> None:
+        """Arm the timer from the current simulated time."""
+        if self._running:
+            return
+        self._running = True
+        self._arm()
+
+    def stop(self) -> None:
+        """Disarm; a later :meth:`start` re-arms from scratch."""
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _next_period(self) -> float:
+        if self.jitter == 0.0:
+            return self.interval
+        low = self.interval * (1.0 - self.jitter)
+        return self.rng.uniform(low, self.interval)
+
+    def _arm(self) -> None:
+        now = self.engine.now
+        if self.jitter == 0.0:
+            # Phase-locked: fire at phase + k*interval, the discipline
+            # that lets independent routers share firing instants.
+            k = int((now - self.phase) // self.interval) + 1
+            next_time = self.phase + k * self.interval
+            if next_time <= now:
+                next_time += self.interval
+            self._handle = self.engine.schedule_at(next_time, self._fire)
+        else:
+            self._handle = self.engine.schedule(self._next_period(), self._fire)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self.fire_count += 1
+        self.callback()
+        if self._running:
+            self._arm()
+
+    @property
+    def is_running(self) -> bool:
+        return self._running
+
+
+class MraiBatcher:
+    """Per-peer MinRouteAdvertisementInterval output batching.
+
+    Routers do not transmit each route change immediately; they mark
+    prefixes *dirty* and flush the set when the interval timer expires
+    ("most BGP implementations use a small... timer to pack outbound
+    route updates into a smaller amount of updates than the number of
+    different packets in which they arrived").
+
+    The batcher only tracks dirtiness — what to send for each dirty
+    prefix is decided at flush time by the router, which looks at its
+    *current* table state.  That lost intermediate history is exactly
+    the A1,A2,A1 → duplicate mechanism of §4.2.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        flush: Callable[[Set], None],
+        interval: float = DEFAULT_MRAI,
+        jitter: float = 0.0,
+        rng: Optional[random.Random] = None,
+        phase: float = 0.0,
+    ) -> None:
+        self._dirty: Set = set()
+        self._flush = flush
+        self.timer = IntervalTimer(
+            engine, interval, self._on_timer, jitter=jitter, rng=rng, phase=phase
+        )
+        self.flush_count = 0
+
+    def start(self) -> None:
+        self.timer.start()
+
+    def stop(self) -> None:
+        self.timer.stop()
+        self._dirty.clear()
+
+    def mark_dirty(self, prefix) -> None:
+        """Record that ``prefix``'s advertisement may need updating."""
+        self._dirty.add(prefix)
+
+    def _on_timer(self) -> None:
+        if not self._dirty:
+            return
+        batch, self._dirty = self._dirty, set()
+        self.flush_count += 1
+        self._flush(batch)
+
+    @property
+    def pending(self) -> int:
+        return len(self._dirty)

@@ -1,0 +1,169 @@
+"""Unit and property tests for repro.net.aggregation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.aggregation import (
+    aggregate,
+    aggregation_ratio,
+    covering_set,
+    deaggregate,
+    punch_hole,
+    table_compression_report,
+)
+from repro.net.prefix import Prefix, PrefixError
+
+from .test_prefix import prefixes
+
+
+def P(text):
+    return Prefix.parse(text)
+
+
+def _address_set(ps):
+    """The covered address space as a canonical union of intervals."""
+    intervals = sorted((p.network, p.broadcast) for p in ps)
+    merged = []
+    for lo, hi in intervals:
+        if merged and lo <= merged[-1][1] + 1:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+class TestAggregate:
+    def test_siblings_merge(self):
+        got = aggregate([P("10.0.0.0/9"), P("10.128.0.0/9")])
+        assert got == [P("10.0.0.0/8")]
+
+    def test_cascade_merge(self):
+        quarters = list(P("10.0.0.0/8").subnets(10))
+        assert aggregate(quarters) == [P("10.0.0.0/8")]
+
+    def test_covered_dropped(self):
+        got = aggregate([P("10.0.0.0/8"), P("10.1.0.0/16")])
+        assert got == [P("10.0.0.0/8")]
+
+    def test_disjoint_untouched(self):
+        ps = [P("10.0.0.0/8"), P("12.0.0.0/8")]
+        assert aggregate(ps) == sorted(ps)
+
+    def test_min_length_stops_merging(self):
+        got = aggregate([P("10.0.0.0/9"), P("10.128.0.0/9")], min_length=9)
+        assert got == [P("10.0.0.0/9"), P("10.128.0.0/9")]
+
+    def test_non_sibling_same_length_do_not_merge(self):
+        # 10.64.0.0/10 and 10.128.0.0/10 are not siblings.
+        ps = [P("10.64.0.0/10"), P("10.128.0.0/10")]
+        assert aggregate(ps) == sorted(ps)
+
+    def test_merge_then_cover(self):
+        # Siblings merge to a /16 that then covers an existing /24.
+        got = aggregate([P("10.1.0.0/17"), P("10.1.128.0/17"), P("10.1.5.0/24")])
+        assert got == [P("10.1.0.0/16")]
+
+    def test_empty(self):
+        assert aggregate([]) == []
+
+
+class TestCoveringSet:
+    def test_removes_more_specifics(self):
+        got = covering_set([P("10.0.0.0/8"), P("10.1.0.0/16"), P("10.1.2.0/24")])
+        assert got == [P("10.0.0.0/8")]
+
+    def test_keeps_disjoint(self):
+        ps = [P("10.0.0.0/8"), P("11.0.0.0/8")]
+        assert covering_set(ps) == ps
+
+    def test_duplicates_collapse(self):
+        assert covering_set([P("10.0.0.0/8"), P("10.0.0.0/8")]) == [P("10.0.0.0/8")]
+
+
+class TestRatioAndReport:
+    def test_perfectly_aggregatable(self):
+        ps = list(P("10.0.0.0/8").subnets(16))
+        assert aggregation_ratio(ps) == pytest.approx(1 / 256)
+
+    def test_unaggregatable(self):
+        ps = [P("10.0.0.0/24"), P("12.0.0.0/24"), P("14.0.0.0/24")]
+        assert aggregation_ratio(ps) == 1.0
+
+    def test_empty_is_one(self):
+        assert aggregation_ratio([]) == 1.0
+
+    def test_table_report(self):
+        report = table_compression_report(
+            {
+                "good": list(P("10.0.0.0/8").subnets(10)),
+                "bad": [P("192.0.2.0/24"), P("198.51.100.0/24")],
+            }
+        )
+        assert report["good"] == pytest.approx(0.25)
+        assert report["bad"] == 1.0
+
+
+class TestDeaggregate:
+    def test_split_counts(self):
+        got = deaggregate(P("10.0.0.0/22"), 24)
+        assert len(got) == 4
+        assert all(g.length == 24 for g in got)
+
+    def test_rejects_shorter(self):
+        with pytest.raises(PrefixError):
+            deaggregate(P("10.0.0.0/24"), 16)
+
+    def test_identity(self):
+        assert deaggregate(P("10.0.0.0/24"), 24) == [P("10.0.0.0/24")]
+
+
+class TestPunchHole:
+    def test_remainder_covers_exactly(self):
+        block = P("10.0.0.0/22")
+        hole = P("10.0.1.0/24")
+        rest = punch_hole(block, hole)
+        # remainder + hole must equal the block, with no overlap
+        assert _address_set(rest + [hole]) == _address_set([block])
+        assert all(not r.overlaps(hole) for r in rest)
+
+    def test_hole_equal_to_block_leaves_nothing(self):
+        assert punch_hole(P("10.0.0.0/24"), P("10.0.0.0/24")) == []
+
+    def test_rejects_outside_hole(self):
+        with pytest.raises(PrefixError):
+            punch_hole(P("10.0.0.0/24"), P("11.0.0.0/24"))
+
+    def test_remainder_size_is_depth(self):
+        rest = punch_hole(P("10.0.0.0/16"), P("10.0.255.0/24"))
+        assert len(rest) == 8  # one sibling per level 17..24
+
+
+@settings(max_examples=60)
+@given(st.sets(prefixes(min_length=6, max_length=24), max_size=12))
+def test_aggregate_preserves_coverage(ps):
+    before = _address_set(ps)
+    after = _address_set(aggregate(ps))
+    assert before == after
+
+
+@settings(max_examples=60)
+@given(st.sets(prefixes(min_length=6, max_length=24), max_size=12))
+def test_aggregate_never_grows(ps):
+    assert len(aggregate(ps)) <= max(len(ps), 1)
+
+
+@settings(max_examples=60)
+@given(st.sets(prefixes(min_length=6, max_length=24), max_size=12))
+def test_aggregate_idempotent(ps):
+    once = aggregate(ps)
+    assert aggregate(once) == once
+
+
+@settings(max_examples=60)
+@given(st.sets(prefixes(max_length=24), max_size=12))
+def test_covering_set_members_disjoint(ps):
+    kept = covering_set(ps)
+    for i, a in enumerate(kept):
+        for b in kept[i + 1:]:
+            assert not a.overlaps(b)

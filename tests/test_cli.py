@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import io
+import sys
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestListCommand:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "figure10" in out
+        assert "ablation-sync" in out
+
+
+class TestRunCommand:
+    def test_runs_fast_experiment(self, capsys):
+        assert main(["run", "figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "Mae-East" in out
+        assert "OK" in out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "figure99"])
+
+
+class TestSimulateClassify:
+    def test_pipeline(self, tmp_path, capsys):
+        archive = tmp_path / "exchange.mrt"
+        assert main(
+            ["simulate", "-o", str(archive), "--hours", "0.1"]
+        ) == 0
+        assert archive.exists()
+        assert main(["classify", str(archive)]) == 0
+        out = capsys.readouterr().out
+        assert "updates" in out
+        assert "pathological" in out
+
+    def test_classify_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["classify", str(tmp_path / "nope.mrt")])
+
+
+class TestArgumentParsing:
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestReportRendering:
+    def test_markdown_section_structure(self):
+        from repro.__main__ import _render_markdown
+        from repro.core.report import ExperimentResult
+
+        result = ExperimentResult("figure1", "test experiment")
+        result.record("metric_in_range", 5, expect=(1, 10))
+        result.record("metric_off", 99, expect=(1, 10))
+        result.notes.append("a note")
+        text = _render_markdown("figure1", result, elapsed=1.5)
+        assert "## figure1" in text
+        assert "| metric_in_range | 5 | 1 .. 10 | ok |" in text
+        assert "**MISMATCH**" in text
+        assert "*a note*" in text
+        assert "bench_figure1.py" in text
+
+    def test_report_command_writes_markdown(self, tmp_path, monkeypatch):
+        """cmd_report over a stubbed registry produces a valid file."""
+        import repro.__main__ as cli
+        from repro.core.report import ExperimentResult
+
+        def fake_run(name):
+            result = ExperimentResult(name, "stub")
+            result.record("x", 1, expect=(0, 2))
+            return result
+
+        monkeypatch.setattr(cli, "experiment_ids", lambda: ["figure1"])
+        monkeypatch.setattr(cli, "run_experiment", fake_run)
+        output = tmp_path / "EXP.md"
+        assert cli.cmd_report(str(output)) == 0
+        text = output.read_text()
+        assert "# EXPERIMENTS" in text
+        assert "## figure1" in text

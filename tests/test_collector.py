@@ -1,0 +1,235 @@
+"""Unit and property tests for the collector subpackage."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.messages import UpdateMessage
+from repro.collector.log import CountingLog, FileLog, MemoryLog, open_log
+from repro.collector.mrt import MAGIC, MrtError, read_records, write_records
+from repro.collector.record import (
+    UpdateKind,
+    UpdateRecord,
+    count_by_kind,
+    flatten_update,
+    unique_prefixes,
+)
+from repro.collector.store import SECONDS_PER_DAY, DayStore, day_of
+from repro.net.prefix import Prefix
+
+from .test_prefix import prefixes
+
+P = Prefix.parse
+
+
+def announce(time=0.0, peer=1, asn=701, prefix="10.0.0.0/8", path=(701,), **kw):
+    return UpdateRecord(
+        time,
+        peer,
+        asn,
+        P(prefix),
+        UpdateKind.ANNOUNCE,
+        PathAttributes(as_path=AsPath(path), **kw),
+    )
+
+
+def withdraw(time=0.0, peer=1, asn=701, prefix="10.0.0.0/8"):
+    return UpdateRecord(time, peer, asn, P(prefix), UpdateKind.WITHDRAW)
+
+
+class TestUpdateRecord:
+    def test_announce_requires_attributes(self):
+        with pytest.raises(ValueError):
+            UpdateRecord(0.0, 1, 701, P("10.0.0.0/8"), UpdateKind.ANNOUNCE)
+
+    def test_withdraw_rejects_attributes(self):
+        with pytest.raises(ValueError):
+            UpdateRecord(
+                0.0, 1, 701, P("10.0.0.0/8"), UpdateKind.WITHDRAW,
+                PathAttributes(),
+            )
+
+    def test_prefix_as_pairing(self):
+        rec = announce(asn=1239, prefix="192.0.2.0/24")
+        assert rec.prefix_as == (P("192.0.2.0/24"), 1239)
+
+    def test_forwarding_tuple(self):
+        rec = announce(path=(701, 1239), next_hop=5)
+        assert rec.forwarding_tuple == (P("10.0.0.0/8"), 5, (701, 1239))
+        assert withdraw().forwarding_tuple is None
+
+    def test_flatten_update_counts(self):
+        msg = UpdateMessage(
+            withdrawn=(P("10.0.0.0/8"), P("11.0.0.0/8")),
+            announced=(P("12.0.0.0/8"),),
+            attributes=PathAttributes(as_path=AsPath((7,))),
+        )
+        records = flatten_update(5.0, 9, 701, msg)
+        assert len(records) == 3
+        assert count_by_kind(records) == (1, 2)
+        assert all(r.time == 5.0 and r.peer_asn == 701 for r in records)
+
+    def test_unique_prefixes(self):
+        records = [withdraw(prefix="10.0.0.0/8"), withdraw(prefix="10.0.0.0/8"),
+                   withdraw(prefix="11.0.0.0/8")]
+        assert unique_prefixes(records) == 2
+
+
+class TestMrtCodec:
+    def test_roundtrip_mixed(self):
+        records = [
+            announce(time=1.25, peer=3, asn=701, med=9),
+            withdraw(time=2.5, peer=4, asn=1239, prefix="192.0.2.0/24"),
+            announce(time=3.0, path=(701, 1239, 3561), local_pref=None),
+        ]
+        buffer = io.BytesIO()
+        assert write_records(buffer, records) == 3
+        buffer.seek(0)
+        back = list(read_records(buffer))
+        assert back == records
+
+    def test_microsecond_precision(self):
+        rec = withdraw(time=1234.567891)
+        buffer = io.BytesIO()
+        write_records(buffer, [rec])
+        buffer.seek(0)
+        (back,) = read_records(buffer)
+        assert back.time == pytest.approx(rec.time, abs=1e-6)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(MrtError):
+            list(read_records(io.BytesIO(b"NOTMAGIC")))
+
+    def test_truncated_stream_rejected(self):
+        buffer = io.BytesIO()
+        write_records(buffer, [withdraw()])
+        data = buffer.getvalue()
+        with pytest.raises(MrtError):
+            list(read_records(io.BytesIO(data[:-3])))
+
+    def test_empty_archive(self):
+        buffer = io.BytesIO()
+        write_records(buffer, [])
+        buffer.seek(0)
+        assert list(read_records(buffer)) == []
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e9),
+                st.booleans(),
+                prefixes(),
+                st.integers(1, 65535),
+            ),
+            max_size=15,
+        )
+    )
+    def test_roundtrip_property(self, specs):
+        records = []
+        for time, is_announce, prefix, asn in specs:
+            if is_announce:
+                records.append(
+                    UpdateRecord(
+                        time, 1, asn, prefix, UpdateKind.ANNOUNCE,
+                        PathAttributes(as_path=AsPath((asn,)), next_hop=1),
+                    )
+                )
+            else:
+                records.append(
+                    UpdateRecord(time, 1, asn, prefix, UpdateKind.WITHDRAW)
+                )
+        buffer = io.BytesIO()
+        write_records(buffer, records)
+        buffer.seek(0)
+        back = list(read_records(buffer))
+        assert len(back) == len(records)
+        for a, b in zip(records, back):
+            assert a.prefix == b.prefix
+            assert a.kind == b.kind
+            assert a.time == pytest.approx(b.time, abs=1e-6)
+
+
+class TestLogs:
+    def test_memory_log(self):
+        log = MemoryLog()
+        log.append(withdraw(time=2.0))
+        log.extend([withdraw(time=1.0)])
+        assert len(log) == 2
+        assert [r.time for r in log.sorted_by_time()] == [1.0, 2.0]
+        log.clear()
+        assert len(log) == 0
+
+    def test_file_log_roundtrip(self, tmp_path):
+        path = tmp_path / "updates.mrt"
+        records = [announce(time=1.0), withdraw(time=2.0)]
+        with FileLog(path).writer() as writer:
+            writer.extend(records)
+            assert writer.count == 2
+        assert FileLog(path).read_all() == records
+
+    def test_open_log_factory(self, tmp_path):
+        assert isinstance(open_log(), MemoryLog)
+        assert isinstance(open_log(tmp_path / "x.mrt"), FileLog)
+
+    def test_counting_log_rows(self):
+        log = CountingLog()
+        log.extend(
+            [
+                announce(asn=701, prefix="10.0.0.0/8"),
+                withdraw(asn=701, prefix="10.0.0.0/8"),
+                withdraw(asn=701, prefix="11.0.0.0/8"),
+                withdraw(asn=1239, prefix="11.0.0.0/8"),
+            ]
+        )
+        assert log.row(701) == {"announce": 1, "withdraw": 2, "unique": 2}
+        assert log.row(1239) == {"announce": 0, "withdraw": 1, "unique": 1}
+        assert log.peer_asns() == [701, 1239]
+        assert log.total == 4
+
+
+class TestDayStore:
+    def test_partitions_by_day(self):
+        store = DayStore()
+        store.extend(
+            [
+                withdraw(time=10.0),
+                withdraw(time=SECONDS_PER_DAY + 5.0),
+                announce(time=SECONDS_PER_DAY + 1.0),
+            ]
+        )
+        assert store.days() == [0, 1]
+        assert len(store.records_for(0)) == 1
+        day1 = store.records_for(1)
+        assert [r.time for r in day1] == [SECONDS_PER_DAY + 1.0,
+                                          SECONDS_PER_DAY + 5.0]
+        assert len(store) == 3
+
+    def test_day_of(self):
+        assert day_of(0.0) == 0
+        assert day_of(SECONDS_PER_DAY - 0.001) == 0
+        assert day_of(SECONDS_PER_DAY) == 1
+
+    def test_coverage_filter(self):
+        store = DayStore()
+        store.add(withdraw(time=100.0))
+        # Lose 40 of 144 bins on day 0 -> coverage ~0.72 < 0.8.
+        for b in range(40):
+            store.mark_lost(0, b)
+        store.add(withdraw(time=SECONDS_PER_DAY + 1))
+        assert store.coverage(0) == pytest.approx(1 - 40 / 144)
+        assert store.well_covered_days() == [1]
+
+    def test_mark_lost_validates_bin(self):
+        store = DayStore()
+        with pytest.raises(ValueError):
+            store.mark_lost(0, 144)
+
+    def test_iteration_yields_sorted_days(self):
+        store = DayStore()
+        store.add(withdraw(time=SECONDS_PER_DAY * 3))
+        store.add(withdraw(time=0.0))
+        assert [day for day, _ in store] == [0, 3]

@@ -1,0 +1,310 @@
+"""Unit tests for the event engine, timers, and links."""
+
+import random
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.link import CsuLink, Link
+from repro.sim.timers import IntervalTimer, MraiBatcher
+
+
+class TestEngine:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(3.0, fired.append, "c")
+        engine.schedule(1.0, fired.append, "a")
+        engine.schedule(2.0, fired.append, "b")
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        engine = Engine()
+        fired = []
+        for tag in "abc":
+            engine.schedule(1.0, fired.append, tag)
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_run_until_advances_clock(self):
+        engine = Engine()
+        engine.schedule(5.0, lambda: None)
+        engine.run_until(10.0)
+        assert engine.now == 10.0
+        assert engine.events_processed == 1
+
+    def test_run_until_leaves_future_events(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(5.0, fired.append, "early")
+        engine.schedule(15.0, fired.append, "late")
+        engine.run_until(10.0)
+        assert fired == ["early"]
+        assert engine.pending == 1
+        engine.run_until(20.0)
+        assert fired == ["early", "late"]
+
+    def test_cancel(self):
+        engine = Engine()
+        fired = []
+        handle = engine.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_rejects_past_scheduling(self):
+        engine = Engine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_events_scheduled_during_run(self):
+        engine = Engine()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                engine.schedule(1.0, chain, n + 1)
+
+        engine.schedule(0.0, chain, 0)
+        engine.run()
+        assert fired == [0, 1, 2, 3]
+        assert engine.now == 3.0
+
+    def test_next_event_time_skips_cancelled(self):
+        engine = Engine()
+        h = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        h.cancel()
+        assert engine.next_event_time() == 2.0
+
+    def test_max_events_bound(self):
+        engine = Engine()
+        for i in range(10):
+            engine.schedule(float(i), lambda: None)
+        assert engine.run(max_events=4) == 4
+        assert engine.pending == 6
+
+
+class TestIntervalTimer:
+    def test_unjittered_fires_on_exact_multiples(self):
+        engine = Engine()
+        times = []
+        timer = IntervalTimer(engine, 30.0, lambda: times.append(engine.now))
+        timer.start()
+        engine.run_until(150.0)
+        assert times == [30.0, 60.0, 90.0, 120.0, 150.0]
+
+    def test_unjittered_phase_locked_regardless_of_start(self):
+        engine = Engine()
+        times = []
+        engine.schedule(7.0, lambda: None)
+        engine.run()  # now = 7.0
+        timer = IntervalTimer(engine, 30.0, lambda: times.append(engine.now))
+        timer.start()
+        engine.run_until(100.0)
+        # Still fires at multiples of 30, not 7 + k*30.
+        assert times == [30.0, 60.0, 90.0]
+
+    def test_two_unjittered_timers_share_instants(self):
+        engine = Engine()
+        a_times, b_times = [], []
+        IntervalTimer(engine, 30.0, lambda: a_times.append(engine.now)).start()
+        IntervalTimer(engine, 30.0, lambda: b_times.append(engine.now)).start()
+        engine.run_until(300.0)
+        assert a_times == b_times  # the synchronization hazard
+
+    def test_jittered_periods_vary_and_are_bounded(self):
+        engine = Engine()
+        times = []
+        timer = IntervalTimer(
+            engine,
+            30.0,
+            lambda: times.append(engine.now),
+            jitter=0.25,
+            rng=random.Random(42),
+        )
+        timer.start()
+        engine.run_until(600.0)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(22.5 - 1e-9 <= g <= 30.0 + 1e-9 for g in gaps)
+        assert len(set(round(g, 6) for g in gaps)) > 1
+
+    def test_stop_prevents_firing(self):
+        engine = Engine()
+        times = []
+        timer = IntervalTimer(engine, 10.0, lambda: times.append(engine.now))
+        timer.start()
+        engine.run_until(15.0)
+        timer.stop()
+        engine.run_until(100.0)
+        assert times == [10.0]
+
+    def test_validation(self):
+        engine = Engine()
+        with pytest.raises(ValueError):
+            IntervalTimer(engine, 0.0, lambda: None)
+        with pytest.raises(ValueError):
+            IntervalTimer(engine, 10.0, lambda: None, jitter=1.0)
+
+    def test_phase_offset(self):
+        engine = Engine()
+        times = []
+        timer = IntervalTimer(
+            engine, 30.0, lambda: times.append(engine.now), phase=5.0
+        )
+        timer.start()
+        engine.run_until(100.0)
+        # Fires at phase + k*interval instants that are in the future.
+        assert times == [5.0, 35.0, 65.0, 95.0]
+
+
+class TestMraiBatcher:
+    def test_batches_until_flush(self):
+        engine = Engine()
+        flushes = []
+        batcher = MraiBatcher(engine, flushes.append, interval=30.0)
+        batcher.start()
+        batcher.mark_dirty("p1")
+        batcher.mark_dirty("p2")
+        batcher.mark_dirty("p1")  # dedup
+        assert batcher.pending == 2
+        engine.run_until(30.0)
+        assert flushes == [{"p1", "p2"}]
+        assert batcher.pending == 0
+
+    def test_no_flush_when_clean(self):
+        engine = Engine()
+        flushes = []
+        batcher = MraiBatcher(engine, flushes.append, interval=30.0)
+        batcher.start()
+        engine.run_until(120.0)
+        assert flushes == []
+        assert batcher.flush_count == 0
+
+    def test_marks_between_flushes_carry_to_next(self):
+        engine = Engine()
+        flushes = []
+        batcher = MraiBatcher(engine, flushes.append, interval=30.0)
+        batcher.start()
+        batcher.mark_dirty("a")
+        engine.run_until(30.0)
+
+        def mark_later():
+            batcher.mark_dirty("b")
+
+        engine.schedule(5.0, mark_later)
+        engine.run_until(60.0)
+        assert flushes == [{"a"}, {"b"}]
+
+
+class TestLink:
+    def _endpoint(self, log, ident):
+        return {
+            "deliver": lambda sender, msg: log.append((ident, sender, msg)),
+        }
+
+    def test_delivery_with_delay(self):
+        engine = Engine()
+        log = []
+        link = Link(engine, delay=0.5)
+        link.attach(1, lambda s, m: log.append(("to1", s, m)))
+        link.attach(2, lambda s, m: log.append(("to2", s, m)))
+        link.send(1, "hello")
+        engine.run()
+        assert log == [("to2", 1, "hello")]
+        assert engine.now == 0.5
+        assert link.messages_delivered == 1
+
+    def test_send_on_down_link_lost(self):
+        engine = Engine()
+        link = Link(engine)
+        link.attach(1, lambda s, m: None)
+        link.attach(2, lambda s, m: None)
+        link.go_down()
+        assert not link.send(1, "x")
+        assert link.messages_lost == 1
+
+    def test_in_flight_lost_on_down(self):
+        engine = Engine()
+        log = []
+        link = Link(engine, delay=1.0)
+        link.attach(1, lambda s, m: log.append(m))
+        link.attach(2, lambda s, m: log.append(m))
+        link.send(1, "doomed")
+        engine.schedule(0.5, link.go_down)
+        engine.run()
+        assert log == []
+        assert link.messages_lost == 1
+
+    def test_up_down_callbacks(self):
+        engine = Engine()
+        events = []
+        link = Link(engine)
+        link.attach(1, lambda s, m: None, on_up=lambda: events.append("up1"),
+                    on_down=lambda: events.append("down1"))
+        link.attach(2, lambda s, m: None, on_down=lambda: events.append("down2"))
+        link.go_down()
+        link.go_down()  # idempotent
+        link.go_up()
+        assert events == ["down1", "down2", "up1"]
+        assert link.down_count == 1
+
+    def test_third_endpoint_rejected(self):
+        engine = Engine()
+        link = Link(engine)
+        link.attach(1, lambda s, m: None)
+        link.attach(2, lambda s, m: None)
+        with pytest.raises(ValueError):
+            link.attach(3, lambda s, m: None)
+
+
+class TestCsuLink:
+    def test_oscillates_with_dominant_period(self):
+        engine = Engine()
+        downs = []
+        link = CsuLink(
+            engine,
+            up_duration=55.0,
+            down_duration=5.0,
+            noise=0.0,
+            rng=random.Random(0),
+        )
+        link.attach(1, lambda s, m: None,
+                    on_down=lambda: downs.append(engine.now))
+        link.attach(2, lambda s, m: None)
+        engine.run_until(600.0)
+        assert len(downs) == 10
+        gaps = [b - a for a, b in zip(downs, downs[1:])]
+        assert all(abs(g - 60.0) < 1e-9 for g in gaps)
+
+    def test_noise_keeps_period_near_nominal(self):
+        engine = Engine()
+        downs = []
+        link = CsuLink(engine, noise=0.02, rng=random.Random(7))
+        link.attach(1, lambda s, m: None,
+                    on_down=lambda: downs.append(engine.now))
+        link.attach(2, lambda s, m: None)
+        engine.run_until(1200.0)
+        gaps = [b - a for a, b in zip(downs, downs[1:])]
+        assert all(abs(g - 60.0) / 60.0 < 0.06 for g in gaps)
+
+    def test_stop_oscillating_leaves_link_up(self):
+        engine = Engine()
+        link = CsuLink(engine, up_duration=10.0, down_duration=2.0, noise=0.0)
+        link.attach(1, lambda s, m: None)
+        link.attach(2, lambda s, m: None)
+        engine.run_until(11.0)
+        assert not link.is_up
+        link.stop_oscillating()
+        engine.run_until(100.0)
+        assert link.is_up
+
+    def test_rejects_bad_durations(self):
+        with pytest.raises(ValueError):
+            CsuLink(Engine(), up_duration=0.0)

@@ -1,0 +1,93 @@
+"""Smoke and behaviour tests for the experiment runners and registry.
+
+The full experiments run in the benchmark harness; here the fast ones
+run outright and the heavy ones run with reduced parameters, checking
+that the machinery (runners, result rendering, registry) behaves.
+"""
+
+import pytest
+
+from repro.core.report import ExperimentResult
+from repro.experiments import EXPERIMENTS, experiment_ids, run_experiment
+from repro.experiments import figure1, figure4, figure10, table1
+from repro.experiments.ablations import (
+    run_damping_study,
+    run_route_server_study,
+)
+from repro.experiments.figure3 import run as run_figure3
+from repro.experiments.pathology import (
+    run_crash_experiment,
+    run_stateless_comparison,
+)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = experiment_ids()
+        assert "table1" in ids
+        for n in range(1, 11):
+            assert f"figure{n}" in ids
+
+    def test_ablations_registered(self):
+        assert sum(1 for i in experiment_ids() if i.startswith("ablation-")) == 8
+
+    def test_unknown_id_raises_with_listing(self):
+        with pytest.raises(KeyError, match="figure1"):
+            run_experiment("figure99")
+
+    def test_run_experiment_dispatches(self):
+        result = run_experiment("figure1")
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == "figure1"
+
+
+class TestFastExperiments:
+    def test_figure1_checks_pass(self):
+        result = figure1.run()
+        assert all(result.all_checks().values())
+
+    def test_figure4_checks_pass(self):
+        result = figure4.run()
+        assert all(result.all_checks().values())
+        assert len(result.tables[0].rows) == 7  # one row per weekday
+
+    def test_figure10_checks_pass(self):
+        result = figure10.run()
+        assert all(result.all_checks().values())
+
+    def test_results_render_without_error(self):
+        for runner in (figure1.run, figure4.run, figure10.run):
+            text = runner().render()
+            assert "Measurements" in text
+
+
+class TestReducedParameterRuns:
+    def test_table1_reduced_duration(self):
+        result = table1.run(duration=1200.0, prefixes_per_provider=20)
+        # The ISP-I signature survives even a short run.
+        assert result.check("isp_i_withdraw_to_announce_ratio")
+        assert result.check("isp_i_withdrawals_dominate_day")
+
+    def test_figure3_reduced_days(self):
+        result = run_figure3(n_days=42)
+        # Structural checks that survive a short campaign.
+        assert result.check("afternoon_high_fraction")
+        assert result.check("night_high_fraction")
+
+    def test_crash_experiment_thresholds(self):
+        assert run_crash_experiment(300.0)
+        assert not run_crash_experiment(20.0)
+
+    def test_stateless_comparison_direction(self):
+        stateless, stateful = run_stateless_comparison(duration=1200.0)
+        assert stateless > 5 * max(1, stateful)
+
+    def test_damping_ablation(self):
+        # Needs the full default horizon: the damped route's penalty
+        # takes ~45 minutes to decay below the reuse threshold.
+        result = run_damping_study()
+        assert all(result.all_checks().values()), result.all_checks()
+
+    def test_route_server_ablation(self):
+        result = run_route_server_study(n_providers=6)
+        assert all(result.all_checks().values()), result.all_checks()

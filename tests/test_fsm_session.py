@@ -1,0 +1,165 @@
+"""Unit tests for the BGP FSM and peering session timing."""
+
+import pytest
+
+from repro.bgp.fsm import (
+    BgpStateMachine,
+    FsmEvent,
+    SessionState,
+)
+from repro.bgp.fsm import FsmError
+from repro.bgp.messages import (
+    KeepAliveMessage,
+    NotificationCode,
+    NotificationMessage,
+    OpenMessage,
+    UpdateMessage,
+)
+from repro.bgp.session import ActionKind, PeeringSession
+
+
+class TestFsm:
+    def test_happy_path_to_established(self):
+        fsm = BgpStateMachine()
+        fsm.handle(FsmEvent.MANUAL_START)
+        fsm.handle(FsmEvent.TCP_ESTABLISHED)
+        fsm.handle(FsmEvent.OPEN_RECEIVED)
+        fsm.handle(FsmEvent.KEEPALIVE_RECEIVED)
+        assert fsm.state is SessionState.ESTABLISHED
+        assert fsm.established_count == 1
+
+    def test_hold_expiry_drops_to_idle(self):
+        fsm = BgpStateMachine()
+        for ev in (
+            FsmEvent.MANUAL_START,
+            FsmEvent.TCP_ESTABLISHED,
+            FsmEvent.OPEN_RECEIVED,
+            FsmEvent.KEEPALIVE_RECEIVED,
+        ):
+            fsm.handle(ev)
+        fsm.handle(FsmEvent.HOLD_TIMER_EXPIRED)
+        assert fsm.state is SessionState.IDLE
+        assert fsm.drop_count == 1
+
+    def test_update_before_established_is_fsm_error(self):
+        fsm = BgpStateMachine()
+        fsm.handle(FsmEvent.MANUAL_START)
+        with pytest.raises(FsmError):
+            fsm.handle(FsmEvent.UPDATE_RECEIVED)
+
+    def test_tcp_failure_during_connect(self):
+        fsm = BgpStateMachine()
+        fsm.handle(FsmEvent.MANUAL_START)
+        fsm.handle(FsmEvent.TCP_FAILED)
+        assert fsm.state is SessionState.IDLE
+
+    def test_history_records_transitions(self):
+        fsm = BgpStateMachine()
+        fsm.handle(FsmEvent.MANUAL_START, now=1.0)
+        fsm.handle(FsmEvent.TCP_ESTABLISHED, now=2.0)
+        assert [t.after for t in fsm.history] == [
+            SessionState.CONNECT,
+            SessionState.OPEN_SENT,
+        ]
+        assert fsm.history[0].time == 1.0
+
+    def test_updates_keep_established(self):
+        fsm = BgpStateMachine()
+        for ev in (
+            FsmEvent.MANUAL_START,
+            FsmEvent.TCP_ESTABLISHED,
+            FsmEvent.OPEN_RECEIVED,
+            FsmEvent.KEEPALIVE_RECEIVED,
+        ):
+            fsm.handle(ev)
+        before = len(fsm.history)
+        fsm.handle(FsmEvent.UPDATE_RECEIVED)
+        assert fsm.state is SessionState.ESTABLISHED
+        assert len(fsm.history) == before  # no transition recorded
+
+
+def establish(session, now=0.0):
+    """Drive a session to Established; returns actions from the last step."""
+    session.start(now)
+    session.on_open(now, OpenMessage(asn=session.peer_asn, hold_time=90.0))
+    return session.on_keepalive(now)
+
+
+class TestPeeringSession:
+    def test_establishment_emits_session_up(self):
+        s = PeeringSession(local_asn=701, peer_asn=1239)
+        actions = establish(s)
+        assert any(a.kind is ActionKind.SESSION_UP for a in actions)
+        assert s.is_established
+
+    def test_start_sends_open(self):
+        s = PeeringSession(local_asn=701, peer_asn=1239, hold_time=90.0)
+        actions = s.start(0.0)
+        assert actions[0].kind is ActionKind.SEND_OPEN
+        assert actions[0].message.asn == 701
+
+    def test_hold_time_negotiated_to_minimum(self):
+        s = PeeringSession(local_asn=701, peer_asn=1239, hold_time=90.0)
+        s.start(0.0)
+        s.on_open(0.0, OpenMessage(asn=1239, hold_time=30.0))
+        assert s.hold_time == 30.0
+        assert s.keepalive_interval == pytest.approx(10.0)
+
+    def test_keepalive_due_every_third_of_hold(self):
+        s = PeeringSession(local_asn=701, peer_asn=1239, hold_time=90.0)
+        establish(s, now=0.0)
+        assert s.poll(29.0) == []
+        actions = s.poll(30.0)
+        assert [a.kind for a in actions] == [ActionKind.SEND_KEEPALIVE]
+        # Next one due 30s later.
+        assert s.poll(31.0) == []
+        assert s.poll(60.0)[0].kind is ActionKind.SEND_KEEPALIVE
+
+    def test_hold_timer_expiry_tears_down_and_restarts(self):
+        s = PeeringSession(local_asn=701, peer_asn=1239, hold_time=90.0)
+        establish(s, now=0.0)
+        actions = s.poll(90.0)
+        kinds = [a.kind for a in actions]
+        assert ActionKind.SEND_NOTIFICATION in kinds
+        assert ActionKind.SESSION_DOWN in kinds
+        assert ActionKind.RESTART in kinds
+        assert not s.is_established
+
+    def test_received_traffic_refreshes_hold(self):
+        s = PeeringSession(local_asn=701, peer_asn=1239, hold_time=90.0)
+        establish(s, now=0.0)
+        s.on_update(60.0, UpdateMessage())
+        # Hold would have expired at t=90 without the update at t=60.
+        down = [
+            a for a in s.poll(95.0) if a.kind is ActionKind.SESSION_DOWN
+        ]
+        assert not down
+        assert s.is_established
+
+    def test_notification_drops_session(self):
+        s = PeeringSession(local_asn=701, peer_asn=1239)
+        establish(s, now=0.0)
+        actions = s.on_notification(
+            1.0, NotificationMessage(NotificationCode.CEASE)
+        )
+        kinds = [a.kind for a in actions]
+        assert ActionKind.SESSION_DOWN in kinds
+        assert ActionKind.RESTART in kinds
+
+    def test_stop_sends_cease(self):
+        s = PeeringSession(local_asn=701, peer_asn=1239)
+        establish(s, now=0.0)
+        actions = s.stop(5.0)
+        assert actions[0].kind is ActionKind.SEND_NOTIFICATION
+        assert actions[0].message.code is NotificationCode.CEASE
+        assert any(a.kind is ActionKind.SESSION_DOWN for a in actions)
+
+    def test_next_deadline_reports_sooner_timer(self):
+        s = PeeringSession(local_asn=701, peer_asn=1239, hold_time=90.0)
+        establish(s, now=0.0)
+        # Keepalive (t=30) is sooner than hold (t=90).
+        assert s.next_deadline() == pytest.approx(30.0)
+
+    def test_poll_idle_session_is_noop(self):
+        s = PeeringSession(local_asn=701, peer_asn=1239)
+        assert s.poll(1000.0) == []

@@ -1,0 +1,172 @@
+"""Unit tests for instability metrics and reporting."""
+
+import pytest
+
+from repro.core.classifier import classify
+from repro.core.instability import (
+    CategoryCounts,
+    counts_by_peer,
+    counts_by_prefix_as,
+    detect_incidents,
+    persistence,
+)
+from repro.core.report import ExperimentResult, Series, Table, format_number
+from repro.core.taxonomy import UpdateCategory
+
+from .test_classifier import A, W, ATTRS_B, PFX
+
+
+def classified(records):
+    return list(classify(records))
+
+
+class TestCategoryCounts:
+    def test_rollups(self):
+        counts = CategoryCounts()
+        counts.extend(classified([A(0), A(1), A(2, ATTRS_B), W(3), W(4)]))
+        # NEW, AADUP, AADIFF, PLAIN_WITHDRAW, WWDUP
+        assert counts.total == 5
+        assert counts[UpdateCategory.AADUP] == 1
+        assert counts.instability == 1       # the AADIFF
+        assert counts.pathological == 2      # AADUP + WWDUP
+        assert counts.uncategorized == 2     # NEW + PLAIN_WITHDRAW
+
+    def test_pathological_fraction(self):
+        counts = CategoryCounts()
+        counts.extend(classified([W(0), W(1), W(2), W(3)]))
+        assert counts.pathological_fraction == 1.0
+
+    def test_empty_fraction_zero(self):
+        assert CategoryCounts().pathological_fraction == 0.0
+
+    def test_merged(self):
+        a = CategoryCounts()
+        a.extend(classified([W(0)]))
+        b = CategoryCounts()
+        b.extend(classified([W(0)]))
+        merged = a.merged(b)
+        assert merged.total == 2
+        assert a.total == 1  # originals untouched
+
+    def test_policy_changes_counted(self):
+        from .test_classifier import ATTRS_A_POLICY
+
+        counts = CategoryCounts()
+        counts.extend(classified([A(0), A(1, ATTRS_A_POLICY)]))
+        assert counts.policy_changes == 1
+
+    def test_as_dict_covers_all_categories(self):
+        d = CategoryCounts().as_dict()
+        assert set(d) == {c.name for c in UpdateCategory}
+
+
+class TestGroupings:
+    def test_counts_by_peer(self):
+        updates = classified(
+            [A(0, peer=1, asn=701), W(1, peer=2, asn=1239), A(2, peer=1, asn=701)]
+        )
+        by_peer = counts_by_peer(updates)
+        assert by_peer[701].total == 2
+        assert by_peer[1239].total == 1
+
+    def test_counts_by_prefix_as(self):
+        updates = classified([A(0), A(1), A(2), W(3), W(4), W(5)])
+        pairs = counts_by_prefix_as(updates)
+        assert pairs[(PFX, 701)] == 6
+
+    def test_counts_by_prefix_as_filtered(self):
+        updates = classified([A(0), A(1), W(2), W(3)])
+        wwdups = counts_by_prefix_as(updates, UpdateCategory.WWDUP)
+        assert wwdups == {(PFX, 701): 1}
+
+
+class TestIncidents:
+    def test_no_incident_in_flat_series(self):
+        assert detect_incidents([10, 12, 9, 11, 10], 600.0) == []
+
+    def test_spike_detected(self):
+        counts = [10, 11, 9, 500, 600, 10, 9]
+        (incident,) = detect_incidents(counts, 600.0)
+        assert incident.start == 3 * 600.0
+        assert incident.end == 5 * 600.0
+        assert incident.updates == 1100
+        assert incident.magnitude >= 1.0
+
+    def test_incident_at_end_closed(self):
+        counts = [10, 10, 900]
+        (incident,) = detect_incidents(counts, 60.0)
+        assert incident.end == 3 * 60.0
+
+    def test_threshold_orders_configurable(self):
+        counts = [10, 10, 50]
+        assert detect_incidents(counts, 600.0, threshold_orders=1.0) == []
+        assert len(detect_incidents(counts, 600.0, threshold_orders=0.5)) == 1
+
+    def test_empty_and_all_zero(self):
+        assert detect_incidents([], 600.0) == []
+        assert detect_incidents([0, 0, 0], 600.0) == []
+
+
+class TestPersistence:
+    def test_single_event_zero_duration(self):
+        episodes = persistence(classified([W(100.0)]))
+        assert episodes[(PFX, 701)] == [0.0]
+
+    def test_burst_measured(self):
+        updates = classified([A(0), A(30), A(60), A(90)])
+        episodes = persistence(updates)
+        assert episodes[(PFX, 701)] == [90.0]
+
+    def test_quiet_gap_splits_episodes(self):
+        updates = classified([A(0), A(60), A(10000), A(10030)])
+        episodes = persistence(updates, quiet_gap=300.0)
+        assert episodes[(PFX, 701)] == [60.0, 30.0]
+
+    def test_paper_bound_under_five_minutes(self):
+        """A 30s-periodic pathological burst persists < 5 minutes."""
+        updates = classified([A(t) for t in range(0, 150, 30)])
+        episodes = persistence(updates)
+        assert all(d < 300.0 for d in episodes[(PFX, 701)])
+
+
+class TestReporting:
+    def test_format_number(self):
+        assert format_number(1234567) == "1,234,567"
+        assert format_number(0.1234) == "0.1234"
+        assert format_number(3.14159) == "3.14"
+        assert format_number(12345.6) == "12,346"
+
+    def test_table_renders_aligned(self):
+        table = Table("T", ["name", "count"])
+        table.add_row("alpha", 5)
+        table.add_row("b", 12345)
+        text = table.render()
+        assert "T" in text and "alpha" in text and "12,345" in text
+
+    def test_table_rejects_wrong_arity(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_series_render(self):
+        series = Series("updates")
+        for i in range(100):
+            series.add(i, i * 2)
+        text = series.render(max_points=5)
+        assert "updates" in text and "100 points" in text
+
+    def test_experiment_result_checks(self):
+        result = ExperimentResult("fig-x", "test")
+        result.record("in_range", 50, expect=(10, 100))
+        result.record("close_scalar", 95, expect=100)
+        result.record("off_scalar", 10, expect=100)
+        checks = result.all_checks()
+        assert checks["in_range"] and checks["close_scalar"]
+        assert not checks["off_scalar"]
+        text = result.render()
+        assert "MISMATCH" in text and "OK" in text
+
+    def test_experiment_result_zero_expectation(self):
+        result = ExperimentResult("x", "y")
+        result.record("zero", 0, expect=0)
+        assert result.check("zero")

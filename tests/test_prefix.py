@@ -1,0 +1,196 @@
+"""Unit and property tests for repro.net.prefix."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.prefix import (
+    MAX_PREFIX_LENGTH,
+    Prefix,
+    PrefixError,
+    common_supernet,
+    parse_many,
+)
+
+
+def prefixes(min_length=0, max_length=32):
+    """Hypothesis strategy producing valid prefixes."""
+    return st.builds(
+        lambda addr, length: Prefix(
+            addr & ((0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF)
+            if length
+            else 0,
+            length,
+        ),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=min_length, max_value=max_length),
+    )
+
+
+class TestParsing:
+    def test_parse_roundtrip(self):
+        p = Prefix.parse("192.42.113.0/24")
+        assert str(p) == "192.42.113.0/24"
+        assert p.network == (192 << 24) | (42 << 16) | (113 << 8)
+        assert p.length == 24
+
+    def test_parse_bare_address_is_host_route(self):
+        p = Prefix.parse("10.1.2.3")
+        assert p.length == 32
+        assert str(p) == "10.1.2.3/32"
+
+    def test_parse_zero_prefix(self):
+        p = Prefix.parse("0.0.0.0/0")
+        assert p.length == 0
+        assert p.num_addresses == 1 << 32
+
+    def test_parse_rejects_host_bits(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("10.0.0.1/24")
+
+    def test_from_host_masks_host_bits(self):
+        p = Prefix.from_host("10.0.0.1", 24)
+        assert str(p) == "10.0.0.0/24"
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["10.0.0/24", "10.0.0.256/24", "10.0.0.0/33", "10.0.0.0/x", "a.b.c.d/8"],
+    )
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(PrefixError):
+            Prefix.parse(bad)
+
+    def test_parse_many(self):
+        ps = parse_many(["10.0.0.0/8", "192.168.0.0/16"])
+        assert [str(p) for p in ps] == ["10.0.0.0/8", "192.168.0.0/16"]
+
+
+class TestRelations:
+    def test_covers_more_specific(self):
+        assert Prefix.parse("10.0.0.0/8").covers(Prefix.parse("10.1.0.0/16"))
+
+    def test_does_not_cover_less_specific(self):
+        assert not Prefix.parse("10.1.0.0/16").covers(Prefix.parse("10.0.0.0/8"))
+
+    def test_covers_self(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.covers(p)
+
+    def test_contains_operator(self):
+        assert Prefix.parse("10.1.0.0/16") in Prefix.parse("10.0.0.0/8")
+        assert Prefix.parse("11.0.0.0/8") not in Prefix.parse("10.0.0.0/8")
+
+    def test_contains_address(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert (10 << 24) + 5 in p
+        assert (11 << 24) not in p
+
+    def test_overlaps_symmetric(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("10.5.0.0/16")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(Prefix.parse("11.0.0.0/8"))
+
+    def test_ordering_network_major(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("10.0.0.0/16")
+        c = Prefix.parse("10.1.0.0/16")
+        assert sorted([c, b, a]) == [a, b, c]
+
+
+class TestArithmetic:
+    def test_supernet_default_one_bit(self):
+        assert str(Prefix.parse("10.1.0.0/16").supernet()) == "10.0.0.0/15"
+
+    def test_supernet_to_length(self):
+        assert str(Prefix.parse("10.1.2.0/24").supernet(8)) == "10.0.0.0/8"
+
+    def test_supernet_rejects_longer(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("10.0.0.0/8").supernet(16)
+
+    def test_subnets_halves(self):
+        halves = list(Prefix.parse("10.0.0.0/8").subnets())
+        assert [str(h) for h in halves] == ["10.0.0.0/9", "10.128.0.0/9"]
+
+    def test_subnets_count(self):
+        assert len(list(Prefix.parse("10.0.0.0/8").subnets(12))) == 16
+
+    def test_sibling_xor(self):
+        assert str(Prefix.parse("10.0.0.0/9").sibling()) == "10.128.0.0/9"
+        assert str(Prefix.parse("10.128.0.0/9").sibling()) == "10.0.0.0/9"
+
+    def test_default_route_has_no_sibling(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("0.0.0.0/0").sibling()
+
+    def test_aggregatable_with_sibling_only(self):
+        a = Prefix.parse("10.0.0.0/9")
+        assert a.is_aggregatable_with(a.sibling())
+        assert not a.is_aggregatable_with(Prefix.parse("11.0.0.0/9"))
+        assert not a.is_aggregatable_with(Prefix.parse("10.0.0.0/10"))
+
+    def test_bit_indexing(self):
+        p = Prefix.parse("128.0.0.0/1")
+        assert p.bit(0) == 1
+        with pytest.raises(PrefixError):
+            p.bit(32)
+
+    def test_broadcast(self):
+        p = Prefix.parse("10.0.0.0/24")
+        assert p.broadcast == p.network + 255
+
+
+class TestCommonSupernet:
+    def test_of_siblings_is_parent(self):
+        a = Prefix.parse("10.0.0.0/9")
+        assert common_supernet([a, a.sibling()]) == Prefix.parse("10.0.0.0/8")
+
+    def test_of_single_is_self(self):
+        p = Prefix.parse("10.1.2.0/24")
+        assert common_supernet([p]) == p
+
+    def test_of_disjoint_spans(self):
+        sup = common_supernet(
+            [Prefix.parse("10.0.0.0/24"), Prefix.parse("10.0.3.0/24")]
+        )
+        assert sup.covers(Prefix.parse("10.0.0.0/24"))
+        assert sup.covers(Prefix.parse("10.0.3.0/24"))
+        assert sup.length == 22
+
+    def test_empty_raises(self):
+        with pytest.raises(PrefixError):
+            common_supernet([])
+
+
+class TestProperties:
+    @given(prefixes())
+    def test_str_parse_roundtrip(self, p):
+        assert Prefix.parse(str(p)) == p
+
+    @given(prefixes(max_length=31))
+    def test_subnet_halves_cover_exactly(self, p):
+        left, right = p.subnets()
+        assert p.covers(left) and p.covers(right)
+        assert left.num_addresses + right.num_addresses == p.num_addresses
+        assert not left.overlaps(right)
+
+    @given(prefixes(min_length=1))
+    def test_sibling_is_involution(self, p):
+        assert p.sibling().sibling() == p
+        assert p.sibling().supernet() == p.supernet()
+
+    @given(prefixes(), prefixes())
+    def test_covers_antisymmetric_unless_equal(self, a, b):
+        if a.covers(b) and b.covers(a):
+            assert a == b
+
+    @given(st.lists(prefixes(), min_size=1, max_size=8))
+    def test_common_supernet_covers_all(self, ps):
+        sup = common_supernet(ps)
+        assert all(sup.covers(p) for p in ps)
+
+    @given(prefixes())
+    def test_hashable_and_interchangeable_with_tuple(self, p):
+        assert hash(p) == hash((p.network, p.length))
+        assert {p: 1}[Prefix(p.network, p.length)] == 1

@@ -1,0 +1,220 @@
+"""Unit and property tests for repro.net.radix."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.prefix import Prefix
+from repro.net.radix import RadixTree
+
+from .test_prefix import prefixes
+
+
+def P(text):
+    return Prefix.parse(text)
+
+
+class TestBasicOps:
+    def test_empty(self):
+        tree = RadixTree()
+        assert len(tree) == 0
+        assert not tree
+        assert P("10.0.0.0/8") not in tree
+        assert tree.lookup_best(P("10.0.0.0/8")) is None
+
+    def test_insert_and_get(self):
+        tree = RadixTree()
+        tree[P("10.0.0.0/8")] = "a"
+        assert tree[P("10.0.0.0/8")] == "a"
+        assert len(tree) == 1
+
+    def test_replace_keeps_size(self):
+        tree = RadixTree()
+        tree[P("10.0.0.0/8")] = "a"
+        tree[P("10.0.0.0/8")] = "b"
+        assert tree[P("10.0.0.0/8")] == "b"
+        assert len(tree) == 1
+
+    def test_get_default(self):
+        tree = RadixTree()
+        assert tree.get(P("10.0.0.0/8"), "missing") == "missing"
+
+    def test_missing_raises(self):
+        tree = RadixTree()
+        tree[P("10.0.0.0/8")] = "a"
+        with pytest.raises(KeyError):
+            tree[P("10.1.0.0/16")]
+
+    def test_delete(self):
+        tree = RadixTree()
+        tree[P("10.0.0.0/8")] = "a"
+        del tree[P("10.0.0.0/8")]
+        assert len(tree) == 0
+        with pytest.raises(KeyError):
+            del tree[P("10.0.0.0/8")]
+
+    def test_clear(self):
+        tree = RadixTree()
+        tree[P("10.0.0.0/8")] = "a"
+        tree[P("11.0.0.0/8")] = "b"
+        tree.clear()
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+
+
+class TestLongestPrefixMatch:
+    def setup_method(self):
+        self.tree = RadixTree()
+        self.tree[P("10.0.0.0/8")] = "eight"
+        self.tree[P("10.1.0.0/16")] = "sixteen"
+        self.tree[P("10.1.2.0/24")] = "twentyfour"
+        self.tree[P("192.168.0.0/16")] = "rfc1918"
+
+    def test_most_specific_wins(self):
+        m = self.tree.lookup_best(P("10.1.2.0/25"))
+        assert m.prefix == P("10.1.2.0/24")
+        assert m.value == "twentyfour"
+
+    def test_falls_back_to_covering(self):
+        m = self.tree.lookup_best(P("10.2.0.0/16"))
+        assert m.prefix == P("10.0.0.0/8")
+
+    def test_exact_match(self):
+        m = self.tree.lookup_best(P("10.1.0.0/16"))
+        assert m.value == "sixteen"
+
+    def test_no_match(self):
+        assert self.tree.lookup_best(P("11.0.0.0/8")) is None
+
+    def test_lookup_address(self):
+        m = self.tree.lookup_address((10 << 24) | (1 << 16) | (2 << 8) | 7)
+        assert m.value == "twentyfour"
+
+    def test_covering_order_least_specific_first(self):
+        got = [p for p, _ in self.tree.covering(P("10.1.2.0/24"))]
+        assert got == [P("10.0.0.0/8"), P("10.1.0.0/16"), P("10.1.2.0/24")]
+
+    def test_covered_enumeration(self):
+        got = {p for p, _ in self.tree.covered(P("10.0.0.0/8"))}
+        assert got == {P("10.0.0.0/8"), P("10.1.0.0/16"), P("10.1.2.0/24")}
+
+    def test_covered_of_unrelated_is_empty(self):
+        assert list(self.tree.covered(P("172.16.0.0/12"))) == []
+
+
+class TestStructuralEdgeCases:
+    def test_glue_node_creation_and_pruning(self):
+        tree = RadixTree()
+        # These two force a glue node at 10.0.0.0/14 (or similar meet).
+        tree[P("10.0.0.0/16")] = 1
+        tree[P("10.3.0.0/16")] = 2
+        assert len(tree) == 2
+        assert tree[P("10.0.0.0/16")] == 1
+        assert tree[P("10.3.0.0/16")] == 2
+        del tree[P("10.3.0.0/16")]
+        assert tree[P("10.0.0.0/16")] == 1
+        assert len(tree) == 1
+
+    def test_insert_above_existing_root(self):
+        tree = RadixTree()
+        tree[P("10.1.0.0/16")] = "child"
+        tree[P("10.0.0.0/8")] = "parent"
+        assert tree.lookup_best(P("10.2.0.0/16")).value == "parent"
+        assert tree.lookup_best(P("10.1.0.0/16")).value == "child"
+
+    def test_delete_internal_value_keeps_children(self):
+        tree = RadixTree()
+        tree[P("10.0.0.0/8")] = "parent"
+        tree[P("10.0.0.0/16")] = "left"
+        tree[P("10.128.0.0/16")] = "right"
+        del tree[P("10.0.0.0/8")]
+        assert len(tree) == 2
+        assert tree.lookup_best(P("10.0.0.0/24")).value == "left"
+        assert tree.lookup_best(P("10.128.0.0/24")).value == "right"
+
+    def test_default_route(self):
+        tree = RadixTree()
+        tree[P("0.0.0.0/0")] = "default"
+        tree[P("10.0.0.0/8")] = "ten"
+        assert tree.lookup_best(P("11.0.0.0/8")).value == "default"
+        assert tree.lookup_best(P("10.0.0.0/24")).value == "ten"
+
+    def test_items_in_address_order(self):
+        tree = RadixTree()
+        ps = [P("192.168.0.0/16"), P("10.0.0.0/8"), P("10.1.0.0/16")]
+        for i, p in enumerate(ps):
+            tree[p] = i
+        assert [p for p, _ in tree.items()] == sorted(ps)
+
+
+class TestAgainstReferenceModel:
+    """Randomized differential test against a brute-force dict model."""
+
+    def _reference_lookup(self, model, query):
+        best = None
+        for p in model:
+            if p.covers(query) and (best is None or p.length > best.length):
+                best = p
+        return best
+
+    def test_random_ops_match_model(self):
+        rng = random.Random(42)
+        tree = RadixTree()
+        model = {}
+        pool = [
+            Prefix(rng.randrange(0, 1 << 32) & (0xFFFFFFFF << (32 - L)) & 0xFFFFFFFF, L)
+            for L in (4, 8, 12, 16, 20, 24, 28)
+            for _ in range(12)
+        ]
+        for step in range(1500):
+            op = rng.random()
+            p = rng.choice(pool)
+            if op < 0.55:
+                tree[p] = step
+                model[p] = step
+            elif op < 0.8:
+                removed = tree.delete(p)
+                assert removed == (p in model)
+                model.pop(p, None)
+            else:
+                q = rng.choice(pool)
+                got = tree.lookup_best(q)
+                want = self._reference_lookup(model, q)
+                if want is None:
+                    assert got is None
+                else:
+                    assert got.prefix == want
+                    assert got.value == model[want]
+            assert len(tree) == len(model)
+        assert dict(tree.items()) == model
+
+
+@settings(max_examples=60)
+@given(st.dictionaries(prefixes(), st.integers(), max_size=40))
+def test_items_roundtrip_property(mapping):
+    tree = RadixTree()
+    for p, v in mapping.items():
+        tree[p] = v
+    assert dict(tree.items()) == mapping
+    for p, v in mapping.items():
+        assert tree[p] == v
+
+
+@settings(max_examples=60)
+@given(
+    st.sets(prefixes(), max_size=30),
+    prefixes(),
+)
+def test_lookup_best_matches_bruteforce(stored, query):
+    tree = RadixTree()
+    for p in stored:
+        tree[p] = str(p)
+    covering = [p for p in stored if p.covers(query)]
+    got = tree.lookup_best(query)
+    if not covering:
+        assert got is None
+    else:
+        want = max(covering, key=lambda p: p.length)
+        assert got.prefix == want

@@ -1,0 +1,127 @@
+"""Tests for routing-table snapshots, diffing, and binary dumps."""
+
+import io
+
+import pytest
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.rib import LocRib
+from repro.bgp.wire import WireError
+from repro.collector.snapshot import (
+    SnapshotDiff,
+    TableSnapshot,
+    diff_snapshots,
+    dump_table,
+    load_table,
+    snapshot,
+)
+from repro.net.prefix import Prefix
+
+P = Prefix.parse
+
+
+def attrs(path, next_hop=1, **kw):
+    return PathAttributes(as_path=AsPath(path), next_hop=next_hop, **kw)
+
+
+def build_rib():
+    rib = LocRib()
+    rib.apply_announce(1, P("10.0.0.0/8"), attrs((701,), next_hop=1))
+    rib.apply_announce(2, P("10.0.0.0/8"), attrs((1239,), next_hop=2))
+    rib.apply_announce(1, P("192.0.2.0/24"), attrs((701, 7018), next_hop=1))
+    return rib
+
+
+class TestSnapshot:
+    def test_captures_all_candidates(self):
+        snap = snapshot(build_rib(), time=100.0)
+        assert len(snap) == 2
+        assert len(snap.routes[P("10.0.0.0/8")]) == 2
+        assert len(snap.routes[P("192.0.2.0/24")]) == 1
+        assert snap.time == 100.0
+
+    def test_multihomed_detection(self):
+        snap = snapshot(build_rib())
+        assert snap.multihomed_prefixes() == {P("10.0.0.0/8")}
+
+    def test_same_path_twice_not_multihomed(self):
+        rib = LocRib()
+        # Two peers, identical forwarding path.
+        rib.apply_announce(1, P("10.0.0.0/8"), attrs((701,), next_hop=9))
+        rib.apply_announce(2, P("10.0.0.0/8"), attrs((701,), next_hop=9))
+        assert snapshot(rib).multihomed_prefixes() == set()
+
+
+class TestDiff:
+    def test_no_change(self):
+        a = snapshot(build_rib())
+        b = snapshot(build_rib())
+        diff = diff_snapshots(a, b)
+        assert diff.total_changes == 0
+        assert diff.churn_rate(len(a)) == 0.0
+
+    def test_added_removed_changed(self):
+        rib = build_rib()
+        before = snapshot(rib)
+        rib.apply_withdraw(1, P("192.0.2.0/24"))          # removed
+        rib.apply_announce(3, P("10.0.0.0/8"),
+                           attrs((3561,), next_hop=3))     # changed
+        rib.apply_announce(1, P("198.51.100.0/24"),
+                           attrs((701,), next_hop=1))      # added
+        after = snapshot(rib)
+        diff = diff_snapshots(before, after)
+        assert diff.added == {P("198.51.100.0/24")}
+        assert diff.removed == {P("192.0.2.0/24")}
+        assert diff.changed == {P("10.0.0.0/8")}
+        assert diff.total_changes == 3
+
+    def test_churn_rate(self):
+        diff = SnapshotDiff(added={P("10.0.0.0/8")})
+        assert diff.churn_rate(10) == pytest.approx(0.1)
+        assert diff.churn_rate(0) == 0.0
+
+
+class TestBinaryDump:
+    def test_roundtrip(self):
+        snap = snapshot(build_rib(), time=12345.5)
+        buffer = io.BytesIO()
+        entries = dump_table(buffer, snap)
+        assert entries == 3  # 2 candidates + 1
+        buffer.seek(0)
+        loaded = load_table(buffer)
+        assert loaded.time == snap.time
+        assert loaded.routes == snap.routes
+
+    def test_empty_table(self):
+        snap = snapshot(LocRib())
+        buffer = io.BytesIO()
+        assert dump_table(buffer, snap) == 0
+        buffer.seek(0)
+        assert len(load_table(buffer)) == 0
+
+    def test_bad_magic(self):
+        with pytest.raises(WireError):
+            load_table(io.BytesIO(b"JUNKJUNKJUNK"))
+
+    def test_truncated(self):
+        snap = snapshot(build_rib())
+        buffer = io.BytesIO()
+        dump_table(buffer, snap)
+        data = buffer.getvalue()
+        with pytest.raises(WireError):
+            load_table(io.BytesIO(data[:-8]))
+
+    def test_diff_of_dumped_snapshots(self):
+        """Snapshots survive the disk roundtrip well enough to diff."""
+        rib = build_rib()
+        before_bytes = io.BytesIO()
+        dump_table(before_bytes, snapshot(rib))
+        rib.apply_announce(1, P("203.0.113.0/24"), attrs((701,)))
+        after_bytes = io.BytesIO()
+        dump_table(after_bytes, snapshot(rib))
+        before_bytes.seek(0)
+        after_bytes.seek(0)
+        diff = diff_snapshots(
+            load_table(before_bytes), load_table(after_bytes)
+        )
+        assert diff.added == {P("203.0.113.0/24")}

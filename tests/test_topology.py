@@ -1,0 +1,193 @@
+"""Tests for topology generation, exchange points, and multi-homing."""
+
+import pytest
+
+from repro.net.aggregation import aggregation_ratio
+from repro.topology.asgraph import Tier, build_internet_graph
+from repro.topology.exchange import (
+    EXCHANGE_POINTS,
+    ExchangePoint,
+    exchange_by_name,
+)
+from repro.topology.internet import CoreInternetScenario, ProviderSpec
+from repro.topology.multihoming import MultihomingGrowthModel
+from repro.sim.engine import Engine
+from repro.sim.router import Router
+
+
+class TestExchangeInfo:
+    def test_five_measured_exchanges(self):
+        assert len(EXCHANGE_POINTS) == 5
+        names = {e.name for e in EXCHANGE_POINTS}
+        assert names == {"Mae-East", "AADS", "Sprint", "PacBell", "Mae-West"}
+
+    def test_mae_east_is_largest(self):
+        mae_east = exchange_by_name("mae-east")
+        assert mae_east.largest
+        assert mae_east.route_server_peers == max(
+            e.route_server_peers for e in EXCHANGE_POINTS
+        )
+
+    def test_unknown_exchange_raises(self):
+        with pytest.raises(KeyError):
+            exchange_by_name("LINX")
+
+
+class TestAsGraph:
+    def test_tier_counts(self):
+        g = build_internet_graph(
+            n_backbones=6, n_regionals=10, n_customers=50, seed=2
+        )
+        assert len(g.backbones) == 6
+        assert len(g.regionals) == 10
+        assert len(g.customers) == 50
+        assert len(g) == 66
+
+    def test_backbones_fully_meshed(self):
+        g = build_internet_graph(n_backbones=5, seed=2)
+        backbone_asns = {b.asn for b in g.backbones}
+        for a in backbone_asns:
+            neighbors = set(g.graph.neighbors(a))
+            assert backbone_asns - {a} <= neighbors
+
+    def test_deterministic_for_seed(self):
+        a = build_internet_graph(seed=5)
+        b = build_internet_graph(seed=5)
+        assert sorted(map(str, a.all_prefixes())) == sorted(
+            map(str, b.all_prefixes())
+        )
+
+    def test_multi_homed_fraction_near_target(self):
+        g = build_internet_graph(
+            n_customers=400, multi_homed_fraction=0.25, seed=3
+        )
+        assert 0.18 <= g.multi_homed_fraction() <= 0.32
+
+    def test_customers_have_providers(self):
+        g = build_internet_graph(seed=4)
+        for customer in g.customers:
+            providers = g.providers_of(customer.asn)
+            assert len(providers) == (2 if customer.multi_homed else 1)
+
+    def test_prefixes_unique_across_ases(self):
+        g = build_internet_graph(seed=6)
+        prefixes = g.all_prefixes()
+        assert len(prefixes) == len(set(prefixes))
+
+    def test_backbone_aggregates_are_blocks(self):
+        g = build_internet_graph(seed=7)
+        for backbone in g.backbones:
+            assert backbone.plan.aggregates
+            assert all(p.length <= 10 for p in backbone.plan.aggregates)
+
+    def test_swamp_customers_aggregate_poorly(self):
+        g = build_internet_graph(
+            n_customers=200, legacy_fraction=1.0,
+            multi_homed_fraction=0.0, seed=8,
+        )
+        specifics = [
+            p for c in g.customers for p in c.plan.specifics
+        ]
+        assert specifics
+        assert aggregation_ratio(specifics) > 0.9
+
+
+class TestExchangePoint:
+    def test_full_mesh_session_count(self):
+        engine = Engine()
+        xp = ExchangePoint(engine, full_mesh=True)
+        for i in range(4):
+            xp.attach_provider(
+                Router(engine, asn=100 + i, router_id=i + 1), start=False
+            )
+        # 4 server sessions + C(4,2)=6 bilateral.
+        assert xp.session_count == 10
+
+    def test_route_server_only_is_linear(self):
+        engine = Engine()
+        xp = ExchangePoint(engine, full_mesh=False)
+        for i in range(10):
+            xp.attach_provider(
+                Router(engine, asn=100 + i, router_id=i + 1), start=False
+            )
+        assert xp.session_count == 10
+
+    def test_sessions_establish(self):
+        engine = Engine()
+        xp = ExchangePoint(engine, full_mesh=True)
+        for i in range(3):
+            xp.attach_provider(
+                Router(engine, asn=100 + i, router_id=i + 1, mrai_interval=5.0)
+            )
+        engine.run_until(60.0)
+        assert xp.established_sessions() == xp.session_count
+
+
+class TestMultihomingModel:
+    def test_linear_growth(self):
+        model = MultihomingGrowthModel(noise=0.0, seed=1)
+        series = model.series(n_days=270)
+        rate = series.growth_per_day()
+        # Recovered slope should approximate the configured one (the
+        # upgrade spike biases it slightly upward).
+        assert 40.0 <= rate <= 80.0
+
+    def test_gap_days_are_none(self):
+        model = MultihomingGrowthModel(gap=(100, 110), seed=1)
+        series = model.series(n_days=270)
+        assert all(series.counts[d] is None for d in range(100, 111))
+        assert series.counts[99] is not None
+
+    def test_upgrade_spike_visible(self):
+        model = MultihomingGrowthModel(
+            noise=0.0, upgrade_day=55, upgrade_duration=4,
+            upgrade_magnitude=2.6, seed=1,
+        )
+        normal = model.count_on(54)
+        spiked = model.count_on(56)
+        assert spiked > 2 * normal
+
+    def test_fraction_over_quarter(self):
+        """The paper: more than 25% of prefixes are multi-homed."""
+        model = MultihomingGrowthModel(seed=1)
+        # Mid-campaign (paper wrote this in early 1997, after the data).
+        frac = model.multi_homed_fraction(200)
+        assert frac > 0.25
+
+    def test_deterministic(self):
+        a = MultihomingGrowthModel(seed=9).series(50).counts
+        b = MultihomingGrowthModel(seed=9).series(50).counts
+        assert a == b
+
+
+class TestCoreInternetScenario:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        from repro.topology.asgraph import build_internet_graph
+
+        graph = build_internet_graph(
+            n_backbones=3, n_regionals=4, n_customers=20, seed=11
+        )
+        scenario = CoreInternetScenario(graph=graph, mrai_interval=5.0, seed=11)
+        scenario.settle(120.0)
+        return scenario
+
+    def test_all_sessions_come_up(self, scenario):
+        assert (
+            scenario.exchange.established_sessions()
+            == scenario.exchange.session_count
+        )
+
+    def test_route_server_sees_full_table(self, scenario):
+        expected = len(set(scenario.graph.all_prefixes()))
+        assert scenario.table_size() == expected
+
+    def test_settle_clears_convergence_noise(self, scenario):
+        assert len(scenario.sink) == 0
+
+    def test_flaps_reach_the_route_server(self, scenario):
+        provider = next(iter(scenario.routers.values()))
+        prefix = provider.originated[0]
+        provider.flap_origin(prefix, down_for=6.0)
+        scenario.run(60.0)
+        assert len(scenario.sink) >= 2  # withdrawal + re-announcement

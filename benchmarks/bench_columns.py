@@ -1,0 +1,86 @@
+"""Streaming vs columnar throughput on a synthetic generated day.
+
+The columnar tier's reason to exist is quantitative: classify+bin a
+day of records at least an order of magnitude faster than the
+streaming reference.  These benchmarks measure both tiers on the same
+materialized stream (statistical repetition via pytest-benchmark); the
+1M-record acceptance run lives in ``benchmarks/run_bench.py``, which
+records the measured ratio in ``BENCH_columns.json``.
+
+Run with::
+
+    pytest benchmarks/bench_columns.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.timeseries import bin_records
+from repro.core.classifier import StreamClassifier
+from repro.core.columns import ColumnClassifier, RecordColumns
+from repro.core.instability import CategoryCounts
+from repro.workloads.generator import TraceGenerator
+
+#: One synthetic day, materialized once per session on both layouts.
+_DAY = 7
+_PAIR_FRACTION = 0.2
+_SEED = 13
+
+
+@pytest.fixture(scope="module")
+def day_records():
+    return TraceGenerator(seed=_SEED).day_records(
+        _DAY, pair_fraction=_PAIR_FRACTION
+    )
+
+
+@pytest.fixture(scope="module")
+def day_columns():
+    return TraceGenerator(seed=_SEED).day_columns(
+        _DAY, pair_fraction=_PAIR_FRACTION
+    )
+
+
+def test_streaming_classify_bin(benchmark, day_records):
+    def run():
+        classifier = StreamClassifier()
+        counts = CategoryCounts()
+        for record in day_records:
+            counts.add(classifier.feed(record))
+        bins = bin_records(day_records, bin_width=600.0)
+        return counts.total + int(bins.sum())
+
+    assert benchmark(run) == 2 * len(day_records)
+
+
+def test_columnar_classify_bin(benchmark, day_columns):
+    def run():
+        codes, policy = ColumnClassifier().classify(day_columns)
+        counts = CategoryCounts.from_codes(codes, policy)
+        bins = bin_records(day_columns, bin_width=600.0)
+        return counts.total + int(bins.sum())
+
+    assert benchmark(run) == 2 * len(day_columns)
+
+
+def test_materialize_day_records(benchmark):
+    generator = TraceGenerator(seed=_SEED)
+
+    def run():
+        return len(
+            generator.day_records(_DAY, pair_fraction=_PAIR_FRACTION)
+        )
+
+    assert benchmark(run) > 0
+
+
+def test_materialize_day_columns(benchmark):
+    generator = TraceGenerator(seed=_SEED)
+
+    def run():
+        return len(
+            generator.day_columns(_DAY, pair_fraction=_PAIR_FRACTION)
+        )
+
+    assert benchmark(run) > 0

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Columnar-tier acceptance benchmark: streaming vs columnar on a
+1M-record synthetic day.
+
+Measures classify+bin wall-clock on both tiers over the same record
+stream, verifies the outputs agree, and writes the measurements to
+``BENCH_columns.json`` at the repo root.  The acceptance bar is a
+>=10x columnar speedup.
+
+Run:  PYTHONPATH=src python benchmarks/run_bench.py [--records N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.analysis.timeseries import bin_records
+from repro.core.classifier import StreamClassifier
+from repro.core.columns import ColumnClassifier, RecordColumns
+from repro.core.instability import CategoryCounts
+from repro.workloads.generator import TraceGenerator
+
+
+def materialize(target_records: int, seed: int):
+    """Generate whole days until ``target_records`` rows accumulate,
+    on both layouts (identical streams by construction)."""
+    g_rec = TraceGenerator(seed=seed)
+    g_col = TraceGenerator(seed=seed)
+    records, batches = [], []
+    day = 0
+    while len(records) < target_records:
+        records.extend(g_rec.day_records(day, pair_fraction=1.0))
+        batches.append(g_col.day_columns(day, pair_fraction=1.0))
+        day += 1
+    columns = RecordColumns.concat(batches)
+    assert len(columns) == len(records)
+    return records, columns
+
+
+def bench_streaming(records, repeats):
+    best, counts, bins = None, None, None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        classifier = StreamClassifier()
+        counts = CategoryCounts()
+        for record in records:
+            counts.add(classifier.feed(record))
+        bins = bin_records(records, bin_width=600.0)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, counts, bins
+
+
+def bench_columnar(columns, repeats):
+    best, counts, bins = None, None, None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        codes, policy = ColumnClassifier().classify(columns)
+        counts = CategoryCounts.from_codes(codes, policy)
+        bins = bin_records(columns, bin_width=600.0)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, counts, bins
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--records", type=int, default=1_000_000)
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="runs per tier; the best (minimum) time is reported",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent
+                    / "BENCH_columns.json"),
+    )
+    args = parser.parse_args()
+
+    print(f"Materializing >= {args.records:,} records...")
+    records, columns = materialize(args.records, args.seed)
+    n = len(records)
+    print(f"  {n:,} records across {int(columns.time.max() // 86400) + 1} "
+          f"days, {len(columns.attrs)} interned attribute bundles")
+
+    print(f"Streaming classify+bin (best of {args.repeats})...")
+    t_stream, counts_stream, bins_stream = bench_streaming(
+        records, args.repeats
+    )
+    print(f"  {t_stream:.2f} s ({n / t_stream:,.0f} records/s)")
+
+    print(f"Columnar classify+bin (best of {args.repeats})...")
+    t_col, counts_col, bins_col = bench_columnar(columns, args.repeats)
+    print(f"  {t_col:.2f} s ({n / t_col:,.0f} records/s)")
+
+    assert counts_col.counts == counts_stream.counts, "tier disagreement"
+    assert counts_col.policy_changes == counts_stream.policy_changes
+    assert (bins_col == bins_stream).all()
+    speedup = t_stream / t_col
+    print(f"Speedup: {speedup:.1f}x (acceptance bar: 10x)")
+
+    payload = {
+        "records": n,
+        "streaming_seconds": round(t_stream, 4),
+        "columnar_seconds": round(t_col, 4),
+        "streaming_records_per_second": round(n / t_stream),
+        "columnar_records_per_second": round(n / t_col),
+        "speedup": round(speedup, 2),
+        "workload": "classify + 10-minute binning, generated days, "
+                    "pair_fraction=1.0",
+        "seed": args.seed,
+        "repeats": args.repeats,
+        "timing": "best (minimum) of repeats per tier",
+        "outputs_identical": True,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"Wrote {args.output}")
+    if speedup < 10.0:
+        raise SystemExit(f"speedup {speedup:.1f}x below the 10x bar")
+
+
+if __name__ == "__main__":
+    main()

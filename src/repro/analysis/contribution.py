@@ -46,12 +46,18 @@ def contribution_points(
 ) -> List[ContributionPoint]:
     """Build Figure 6's scatter for one category.
 
-    ``daily_updates`` maps day → that day's classified updates;
+    ``daily_updates`` maps day → that day's classified updates — or,
+    on the columnar tier, day → ``(RecordColumns, codes)``;
     ``table_shares`` maps peer ASN → share of the routing table.
     """
     points: List[ContributionPoint] = []
     for day, updates in sorted(daily_updates.items()):
-        by_peer = counts_by_peer(updates)
+        if isinstance(updates, tuple):
+            from ..core.instability import counts_by_peer_columns
+
+            by_peer = counts_by_peer_columns(*updates)
+        else:
+            by_peer = counts_by_peer(updates)
         day_total = sum(
             counts[category] for counts in by_peer.values()
         )

@@ -64,9 +64,23 @@ def daily_cdf(
 
     ``by_prefix_only`` collapses the AS dimension — the aggregation
     the paper says "generated results similar ... and have been
-    omitted".
+    omitted".  ``updates`` may also be a ``(RecordColumns, codes)``
+    pair from the columnar tier.
     """
-    if by_prefix_only:
+    if isinstance(updates, tuple):
+        from ..core.instability import (
+            counts_by_prefix_as_columns,
+            counts_by_prefix_columns,
+        )
+
+        columns, codes = updates
+        grouped = (
+            counts_by_prefix_columns
+            if by_prefix_only
+            else counts_by_prefix_as_columns
+        )
+        per_pair = grouped(columns, codes, category)
+    elif by_prefix_only:
         from ..core.instability import counts_by_prefix
 
         per_pair = counts_by_prefix(updates, category)

@@ -28,6 +28,7 @@ __all__ = [
     "FIGURE8_BINS",
     "bin_label",
     "interarrival_times",
+    "interarrival_columns",
     "histogram_proportions",
     "BinBox",
     "daily_boxes",
@@ -66,8 +67,13 @@ def interarrival_times(
     """Gaps between consecutive events of each Prefix+AS pair.
 
     Restricted to one category when given (Figure 8 plots each of the
-    four fine-grained categories separately).
+    four fine-grained categories separately).  ``updates`` may also be
+    a ``(RecordColumns, codes)`` pair from the columnar tier, which is
+    dispatched to :func:`interarrival_columns`.
     """
+    if isinstance(updates, tuple):
+        columns, codes = updates
+        return interarrival_columns(columns, codes, category)
     by_pair: Dict[PrefixAs, List[float]] = defaultdict(list)
     for update in updates:
         if category is None or update.category is category:
@@ -79,8 +85,44 @@ def interarrival_times(
     return gaps
 
 
+def interarrival_columns(
+    columns,
+    codes: Optional[np.ndarray] = None,
+    category: Optional[UpdateCategory] = None,
+) -> np.ndarray:
+    """Columnar :func:`interarrival_times`: per-pair gaps computed by
+    one lexsort over (Prefix+AS, time) and a masked diff.
+
+    Returns the same multiset of gaps as the streaming version (the
+    ordering differs — gaps are grouped per pair in key order)."""
+    data = columns.data
+    if category is not None:
+        data = data[np.asarray(codes) == category.value]
+    if len(data) < 2:
+        return np.empty(0, dtype=float)
+    order = np.lexsort(
+        (data["time"], data["plen"], data["net"], data["peer_asn"])
+    )
+    s = data[order]
+    same_pair = (
+        (s["peer_asn"][1:] == s["peer_asn"][:-1])
+        & (s["net"][1:] == s["net"][:-1])
+        & (s["plen"][1:] == s["plen"][:-1])
+    )
+    return np.diff(s["time"])[same_pair]
+
+
 def histogram_proportions(gaps: Sequence[float]) -> List[float]:
     """The proportion of ``gaps`` in each Figure 8 bin."""
+    if isinstance(gaps, np.ndarray):
+        # Vectorized: bin b holds gaps in (edge[b-1], edge[b]].
+        indices = np.searchsorted(FIGURE8_BINS, gaps, side="left")
+        indices = indices[indices < len(FIGURE8_BINS)]  # drop > 24h
+        total = len(indices)
+        if total == 0:
+            return [0.0] * len(FIGURE8_BINS)
+        counts = np.bincount(indices, minlength=len(FIGURE8_BINS))
+        return (counts / total).tolist()
     counts = [0] * len(FIGURE8_BINS)
     total = 0
     for gap in gaps:
@@ -110,7 +152,8 @@ def daily_boxes(
 ) -> List[BinBox]:
     """Box statistics over days for one category (one Figure 8 panel).
 
-    ``daily_updates`` is one classified-update sequence per day.
+    ``daily_updates`` is one classified-update sequence per day — or,
+    on the columnar tier, one ``(RecordColumns, codes)`` pair per day.
     """
     per_day: List[List[float]] = []
     for updates in daily_updates:

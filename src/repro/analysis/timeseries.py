@@ -35,16 +35,27 @@ def bin_records(
 ) -> np.ndarray:
     """Count records into fixed-width time bins.
 
-    ``end`` defaults to the latest record (rounded up to a whole bin).
-    Returns an integer array of per-bin counts.
+    ``records`` may be an iterable of :class:`UpdateRecord`, a
+    columnar :class:`~repro.core.columns.RecordColumns` batch, or a
+    bare array of timestamps — the columnar forms skip the per-record
+    Python loop entirely.  ``end`` defaults to the latest record
+    (rounded up to a whole bin).  Returns an integer array of per-bin
+    counts.
     """
-    times = np.fromiter((r.time for r in records), dtype=float)
+    if isinstance(records, np.ndarray) and records.dtype.names is None:
+        times = np.asarray(records, dtype=float)
+    elif hasattr(records, "data") and hasattr(records, "attrs"):
+        times = records.data["time"]  # RecordColumns
+    else:
+        times = np.fromiter((r.time for r in records), dtype=float)
     if times.size == 0:
         return np.zeros(0, dtype=int)
     if end is None:
         end = times.max() + bin_width
     n_bins = max(1, int(np.ceil((end - start) / bin_width)))
-    indices = ((times - start) // bin_width).astype(int)
+    # floor(x / w) via true division + floor: same result, and several
+    # times faster than floor_divide's per-element correction step.
+    indices = np.floor((times - start) / bin_width).astype(int)
     valid = (indices >= 0) & (indices < n_bins)
     return np.bincount(indices[valid], minlength=n_bins)
 

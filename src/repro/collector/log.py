@@ -76,6 +76,21 @@ class FileLog:
     def read_all(self) -> List[UpdateRecord]:
         return list(self)
 
+    def iter_column_batches(self, batch_size: int = 65536, attrs=None):
+        """Decode the archive into columnar
+        :class:`~repro.core.columns.RecordColumns` batches of up to
+        ``batch_size`` rows (no per-record objects)."""
+        from .mrt import read_column_batches
+
+        with open(self.path, "rb") as stream:
+            yield from read_column_batches(stream, batch_size, attrs)
+
+    def read_columns(self, attrs=None):
+        """The whole archive as one columnar batch."""
+        from ..core.columns import RecordColumns
+
+        return RecordColumns.concat(list(self.iter_column_batches(attrs=attrs)))
+
 
 class _FileLogWriter:
     """Streaming writer for :class:`FileLog` (context manager)."""
@@ -101,6 +116,13 @@ class _FileLogWriter:
     def extend(self, records: Iterable[UpdateRecord]) -> None:
         for record in records:
             self.append(record)
+
+    def extend_columns(self, columns) -> None:
+        """Serialize a whole :class:`RecordColumns` batch (the on-disk
+        bytes match record-at-a-time appends of the same stream)."""
+        from .mrt import write_column_bodies
+
+        self.count += write_column_bodies(self._stream, columns)
 
     def __exit__(self, *exc_info) -> None:
         self._stream.close()

@@ -35,7 +35,7 @@ class UpdateKind(IntEnum):
 PrefixAs = Tuple[Prefix, int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UpdateRecord:
     """One per-prefix routing event observed at a collection point.
 
@@ -88,10 +88,11 @@ class UpdateRecord:
         withdrawals."""
         if self.attributes is None:
             return None
+        # as_path is already an immutable tuple subclass; no copy needed.
         return (
             self.prefix,
             self.attributes.next_hop,
-            tuple(self.attributes.as_path),
+            self.attributes.as_path,
         )
 
 

@@ -9,11 +9,20 @@ from .taxonomy import (
     UpdateCategory,
 )
 from .classifier import ClassifiedUpdate, StreamClassifier, classify
+from .columns import (
+    AttributeTable,
+    ColumnClassifier,
+    RecordColumns,
+    classify_columns,
+    decode_categories,
+)
 from .instability import (
     CategoryCounts,
     Incident,
     counts_by_peer,
+    counts_by_peer_columns,
     counts_by_prefix_as,
+    counts_by_prefix_as_columns,
     detect_incidents,
     persistence,
 )
@@ -28,10 +37,17 @@ __all__ = [
     "ClassifiedUpdate",
     "StreamClassifier",
     "classify",
+    "AttributeTable",
+    "ColumnClassifier",
+    "RecordColumns",
+    "classify_columns",
+    "decode_categories",
     "CategoryCounts",
     "Incident",
     "counts_by_peer",
+    "counts_by_peer_columns",
     "counts_by_prefix_as",
+    "counts_by_prefix_as_columns",
     "detect_incidents",
     "persistence",
     "ExperimentResult",

@@ -17,7 +17,7 @@ repeat the forwarding tuple but alter other attributes are flagged
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..bgp.attributes import PathAttributes
@@ -28,7 +28,7 @@ from .taxonomy import UpdateCategory
 __all__ = ["ClassifiedUpdate", "StreamClassifier", "classify"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClassifiedUpdate:
     """A record plus its taxonomy label.
 
@@ -63,13 +63,15 @@ class ClassifiedUpdate:
         return self.record.prefix_as
 
 
-@dataclass
 class _RouteState:
     """Classifier memory for one (peer, prefix) pair."""
 
-    reachable: bool = False
-    last_attributes: Optional[PathAttributes] = None
-    ever_announced: bool = False
+    __slots__ = ("reachable", "last_attributes", "ever_announced")
+
+    def __init__(self) -> None:
+        self.reachable = False
+        self.last_attributes: Optional[PathAttributes] = None
+        self.ever_announced = False
 
 
 class StreamClassifier:

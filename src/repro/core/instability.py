@@ -16,11 +16,15 @@ Aggregations the paper's analyses and the benchmark harness share:
 
 from __future__ import annotations
 
+import math
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..collector.record import PrefixAs
+from ..net.prefix import Prefix
 from .classifier import ClassifiedUpdate
 from .taxonomy import (
     INSTABILITY_CATEGORIES,
@@ -31,7 +35,9 @@ from .taxonomy import (
 __all__ = [
     "CategoryCounts",
     "counts_by_peer",
+    "counts_by_peer_columns",
     "counts_by_prefix_as",
+    "counts_by_prefix_as_columns",
     "detect_incidents",
     "persistence",
     "Incident",
@@ -53,6 +59,27 @@ class CategoryCounts:
     def extend(self, updates: Iterable[ClassifiedUpdate]) -> None:
         for update in updates:
             self.add(update)
+
+    @classmethod
+    def from_codes(
+        cls,
+        codes: "np.ndarray",
+        policy: Optional["np.ndarray"] = None,
+    ) -> "CategoryCounts":
+        """Tallies from a columnar classification (category-code and
+        policy arrays, as produced by
+        :func:`~repro.core.columns.classify_columns`)."""
+        result = cls()
+        totals = np.bincount(
+            np.asarray(codes), minlength=len(UpdateCategory) + 1
+        )
+        for category in UpdateCategory:
+            count = int(totals[category.value])
+            if count:
+                result.counts[category] = count
+        if policy is not None:
+            result.policy_changes = int(np.count_nonzero(policy))
+        return result
 
     def __getitem__(self, category: UpdateCategory) -> int:
         return self.counts.get(category, 0)
@@ -122,6 +149,95 @@ def counts_by_prefix_as(
     return dict(result)
 
 
+def counts_by_peer_columns(
+    columns,
+    codes: "np.ndarray",
+    policy: Optional["np.ndarray"] = None,
+) -> Dict[int, "CategoryCounts"]:
+    """Columnar :func:`counts_by_peer`: per-peer-AS category counts
+    from a classified :class:`~repro.core.columns.RecordColumns`
+    batch, via one ``np.unique`` over (peer ASN, code) keys."""
+    codes = np.asarray(codes)
+    key = columns.peer_asn.astype(np.uint64) * 16 + codes
+    unique, totals = np.unique(key, return_counts=True)
+    result: Dict[int, CategoryCounts] = {}
+    for combined, count in zip(unique.tolist(), totals.tolist()):
+        asn, code = divmod(combined, 16)
+        counts = result.get(asn)
+        if counts is None:
+            counts = result[asn] = CategoryCounts()
+        counts.counts[UpdateCategory(code)] = count
+    if policy is not None:
+        asns, flips = np.unique(
+            columns.peer_asn[np.asarray(policy)], return_counts=True
+        )
+        for asn, count in zip(asns.tolist(), flips.tolist()):
+            if asn in result:
+                result[asn].policy_changes = count
+    return result
+
+
+def _pair_group_counts(columns, codes, category, keys):
+    """Group rows of ``columns`` by the given key columns (optionally
+    restricted to one category); returns ``(sorted_rows, group_starts,
+    group_counts)``."""
+    data = columns.data
+    if category is not None:
+        data = data[np.asarray(codes) == category.value]
+    if len(data) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return data, empty, empty
+    order = np.lexsort(tuple(data[k] for k in reversed(keys)))
+    s = data[order]
+    n = len(s)
+    new_group = np.empty(n, dtype=bool)
+    new_group[0] = True
+    changed = np.zeros(n - 1, dtype=bool)
+    for k in keys:
+        changed |= s[k][1:] != s[k][:-1]
+    new_group[1:] = changed
+    starts = np.flatnonzero(new_group)
+    counts = np.diff(np.append(starts, n))
+    return s, starts, counts
+
+
+def counts_by_prefix_as_columns(
+    columns,
+    codes: Optional["np.ndarray"] = None,
+    category: Optional[UpdateCategory] = None,
+) -> Dict[PrefixAs, int]:
+    """Columnar :func:`counts_by_prefix_as`: events per Prefix+AS pair
+    (Figure 7's histogram input) from a
+    :class:`~repro.core.columns.RecordColumns` batch."""
+    s, starts, counts = _pair_group_counts(
+        columns, codes, category, ("peer_asn", "net", "plen")
+    )
+    result: Dict[PrefixAs, int] = {}
+    nets = s["net"][starts].tolist()
+    plens = s["plen"][starts].tolist()
+    asns = s["peer_asn"][starts].tolist()
+    for net, plen, asn, count in zip(nets, plens, asns, counts.tolist()):
+        result[(Prefix(net, plen), asn)] = count
+    return result
+
+
+def counts_by_prefix_columns(
+    columns,
+    codes: Optional["np.ndarray"] = None,
+    category: Optional[UpdateCategory] = None,
+) -> Dict[Prefix, int]:
+    """Columnar :func:`counts_by_prefix` (AS dimension collapsed)."""
+    s, starts, counts = _pair_group_counts(
+        columns, codes, category, ("net", "plen")
+    )
+    result: Dict[Prefix, int] = {}
+    nets = s["net"][starts].tolist()
+    plens = s["plen"][starts].tolist()
+    for net, plen, count in zip(nets, plens, counts.tolist()):
+        result[Prefix(net, plen)] = count
+    return result
+
+
 def counts_by_prefix(
     updates: Iterable[ClassifiedUpdate],
     category: Optional[UpdateCategory] = None,
@@ -166,8 +282,6 @@ def detect_incidents(
     qualifies when ``count >= baseline * 10**threshold_orders``.
     Adjacent qualifying bins merge into one incident.
     """
-    import math
-
     nonzero = sorted(c for c in bin_counts if c > 0)
     if not nonzero:
         return []
@@ -199,8 +313,6 @@ def detect_incidents(
 def _make_incident(
     start_bin: int, end_bin: int, total: int, baseline: float, width: float
 ) -> Incident:
-    import math
-
     peak_ratio = total / max(baseline * (end_bin - start_bin), 1e-12)
     return Incident(
         start=start_bin * width,

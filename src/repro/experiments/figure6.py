@@ -16,7 +16,9 @@ them per day, and computes both checks per category.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
 
 from ..analysis.contribution import (
     consistent_dominators,
@@ -24,11 +26,18 @@ from ..analysis.contribution import (
     correlation,
 )
 from ..core.classifier import ClassifiedUpdate, StreamClassifier, classify
+from ..core.columns import AttributeTable, ColumnClassifier, RecordColumns
 from ..core.report import ExperimentResult, Table
 from ..core.taxonomy import FINE_GRAINED_CATEGORIES
 from ..workloads.generator import PeerPopulation, TraceGenerator
 
-__all__ = ["run", "AUGUST", "fine_grained_generator", "classified_month"]
+__all__ = [
+    "run",
+    "AUGUST",
+    "fine_grained_generator",
+    "classified_month",
+    "classified_month_columns",
+]
 
 AUGUST = range(153, 184)
 
@@ -79,9 +88,42 @@ def classified_month(
     return result
 
 
+def classified_month_columns(
+    generator: TraceGenerator,
+    days: Sequence[int],
+    pair_fraction: float = 1.0,
+    warmup_days: int = 2,
+) -> Dict[int, Tuple[RecordColumns, np.ndarray]]:
+    """Columnar :func:`classified_month`: day → ``(columns, codes)``.
+
+    The same record stream (identical RNG draws) materialized and
+    classified on the columnar tier — one attribute table and one
+    :class:`ColumnClassifier` span the month, so per-route state
+    carries across days exactly like the streaming version.
+    """
+    classifier = ColumnClassifier()
+    table = AttributeTable()
+    first = min(days)
+    for day in range(first - warmup_days, first):
+        classifier.classify(
+            generator.day_columns(
+                day, pair_fraction,
+                categories=FINE_GRAINED_CATEGORIES, attrs=table,
+            )
+        )
+    result: Dict[int, Tuple[RecordColumns, np.ndarray]] = {}
+    for day in days:
+        columns = generator.day_columns(
+            day, pair_fraction, categories=FINE_GRAINED_CATEGORIES, attrs=table
+        )
+        codes, _ = classifier.classify(columns)
+        result[day] = (columns, codes)
+    return result
+
+
 def run(seed: int = 3) -> ExperimentResult:
     generator = fine_grained_generator(seed)
-    daily = classified_month(generator, AUGUST)
+    daily = classified_month_columns(generator, AUGUST)
     shares = {
         peer.asn: peer.table_share for peer in generator.population.peers
     }

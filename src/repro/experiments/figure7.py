@@ -22,7 +22,7 @@ from ..analysis.distribution import dominated_days, mass_below, monthly_cdfs
 from ..core.report import ExperimentResult, Series, Table
 from ..core.taxonomy import UpdateCategory
 from ..workloads.generator import GeneratorTargets
-from .figure6 import AUGUST, classified_month, fine_grained_generator
+from .figure6 import AUGUST, classified_month_columns, fine_grained_generator
 
 __all__ = ["run"]
 
@@ -32,7 +32,7 @@ def run(seed: int = 4) -> ExperimentResult:
     # Aug 11) by raising the probability slightly.
     targets = GeneratorTargets(dominator_day_probability=0.12)
     generator = fine_grained_generator(seed, targets=targets)
-    daily = classified_month(generator, AUGUST)
+    daily = classified_month_columns(generator, AUGUST)
 
     result = ExperimentResult(
         "figure7", "Cumulative Prefix+AS update distributions (August)"

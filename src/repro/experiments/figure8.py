@@ -40,7 +40,7 @@ from ..sim.igp import IgpBgpRedistribution, IgpTable
 from ..sim.link import CsuLink
 from ..sim.router import Router, connect
 from ..sim.routeserver import RouteServer
-from .figure6 import AUGUST, classified_month, fine_grained_generator
+from .figure6 import AUGUST, classified_month_columns, fine_grained_generator
 
 __all__ = ["run", "run_mechanisms"]
 
@@ -77,7 +77,7 @@ def run_mechanisms(duration: float = 4 * 3600.0) -> List[float]:
 
 def run(seed: int = 4) -> ExperimentResult:
     generator = fine_grained_generator(seed)
-    daily_map = classified_month(generator, AUGUST)
+    daily_map = classified_month_columns(generator, AUGUST)
     daily_list = [daily_map[day] for day in sorted(daily_map)]
 
     result = ExperimentResult(

@@ -137,8 +137,16 @@ class Engine:
         return sum(1 for h in self._queue if not h.cancelled)
 
     def next_event_time(self) -> Optional[float]:
-        """When the next live event fires, or None."""
-        for handle in sorted(self._queue):
-            if not handle.cancelled:
-                return handle.time
+        """When the next live event fires, or None.
+
+        O(1) amortized: peeks the heap head, lazily discarding
+        cancelled entries (each cancelled event is popped once ever).
+        """
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            if head.cancelled:
+                heapq.heappop(queue)
+                continue
+            return head.time
         return None

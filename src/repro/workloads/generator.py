@@ -39,9 +39,17 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from ..bgp.attributes import AsPath, PathAttributes
 from ..collector.record import UpdateKind, UpdateRecord
 from ..collector.store import SECONDS_PER_DAY
+from ..core.columns import (
+    NO_ATTR,
+    RECORD_DTYPE,
+    AttributeTable,
+    RecordColumns,
+)
 from ..core.taxonomy import UpdateCategory
 from ..net.prefix import Prefix
 from .calibration import PAPER, PaperConstants
@@ -262,6 +270,80 @@ class _PairState:
         self.med: Optional[int] = None
 
 
+class _RecordSink:
+    """Materialization sink building :class:`UpdateRecord` objects
+    (the streaming tier's representation)."""
+
+    __slots__ = ("records",)
+
+    def __init__(self) -> None:
+        self.records: List[UpdateRecord] = []
+
+    def announce(self, time, peer_id, asn, prefix, attrs) -> None:
+        self.records.append(
+            UpdateRecord(
+                time, peer_id, asn, prefix, UpdateKind.ANNOUNCE, attrs
+            )
+        )
+
+    def withdraw(self, time, peer_id, asn, prefix) -> None:
+        self.records.append(
+            UpdateRecord(time, peer_id, asn, prefix, UpdateKind.WITHDRAW)
+        )
+
+    def finish(self) -> List[UpdateRecord]:
+        self.records.sort(key=lambda r: r.time)
+        return self.records
+
+
+class _ColumnSink:
+    """Materialization sink appending primitive columns — no
+    per-record dataclasses are ever constructed."""
+
+    __slots__ = ("times", "peer_ids", "asns", "nets", "plens", "kinds",
+                 "attr_ids", "table")
+
+    def __init__(self, table) -> None:
+        self.times: List[float] = []
+        self.peer_ids: List[int] = []
+        self.asns: List[int] = []
+        self.nets: List[int] = []
+        self.plens: List[int] = []
+        self.kinds: List[int] = []
+        self.attr_ids: List[int] = []
+        self.table = table
+
+    def announce(self, time, peer_id, asn, prefix, attrs) -> None:
+        self._push(time, peer_id, asn, prefix,
+                   int(UpdateKind.ANNOUNCE), self.table.intern(attrs))
+
+    def withdraw(self, time, peer_id, asn, prefix) -> None:
+        self._push(time, peer_id, asn, prefix,
+                   int(UpdateKind.WITHDRAW), int(NO_ATTR))
+
+    def _push(self, time, peer_id, asn, prefix, kind, attr_id) -> None:
+        self.times.append(time)
+        self.peer_ids.append(peer_id)
+        self.asns.append(asn)
+        self.nets.append(prefix.network)
+        self.plens.append(prefix.length)
+        self.kinds.append(kind)
+        self.attr_ids.append(attr_id)
+
+    def finish(self):
+        data = np.empty(len(self.times), dtype=RECORD_DTYPE)
+        data["time"] = self.times
+        data["peer_id"] = self.peer_ids
+        data["peer_asn"] = self.asns
+        data["net"] = self.nets
+        data["plen"] = self.plens
+        data["kind"] = self.kinds
+        data["attr_id"] = self.attr_ids
+        # Stable time sort matches the record tier's list.sort().
+        order = np.argsort(data["time"], kind="stable")
+        return RecordColumns(data[order], self.table)
+
+
 class TraceGenerator:
     """See module docstring."""
 
@@ -281,6 +363,9 @@ class TraceGenerator:
         self.constants = constants
         self.seed = seed
         self._states: Dict[Pair, _PairState] = {}
+        self._attr_cache: Dict[
+            Tuple[Pair, int, Optional[int]], PathAttributes
+        ] = {}
 
     # ------------------------------------------------------------------
     # planning
@@ -471,21 +556,46 @@ class TraceGenerator:
         ``categories`` restricts materialization (e.g. the fine-grained
         figures never need the WWDup flood).
         """
+        sink = _RecordSink()
+        self._materialize_day(day, pair_fraction, plan, categories, sink)
+        return sink.finish()
+
+    def day_columns(
+        self,
+        day: int,
+        pair_fraction: float = 0.05,
+        plan: Optional[DayPlan] = None,
+        categories: Optional[Sequence[UpdateCategory]] = None,
+        attrs: Optional[AttributeTable] = None,
+    ) -> RecordColumns:
+        """Columnar :meth:`day_records`: the identical record stream
+        (same RNG draws, same ordering) materialized directly into a
+        :class:`~repro.core.columns.RecordColumns` batch — no
+        per-record dataclasses are built.  Pass a shared ``attrs``
+        table to keep attribute ids consistent across a campaign's
+        days."""
+        sink = _ColumnSink(attrs if attrs is not None else AttributeTable())
+        self._materialize_day(day, pair_fraction, plan, categories, sink)
+        return sink.finish()
+
+    def _materialize_day(
+        self,
+        day: int,
+        pair_fraction: float,
+        plan: Optional[DayPlan],
+        categories: Optional[Sequence[UpdateCategory]],
+        sink,
+    ) -> None:
         plan = plan or self.plan_day(day)
         rng = self._day_rng(day, salt=1)
         wanted = tuple(categories) if categories else PLANNED_CATEGORIES
-        records: List[UpdateRecord] = []
         for category in PLANNED_CATEGORIES:
             if category not in wanted:
                 continue
             for pair, count in plan.participation[category]:
                 if pair_fraction < 1.0 and rng.random() > pair_fraction:
                     continue
-                records.extend(
-                    self._emit_pair_day(rng, plan, category, pair, count)
-                )
-        records.sort(key=lambda r: r.time)
-        return records
+                self._emit_pair_day(rng, plan, category, pair, count, sink)
 
     def stream_records(
         self,
@@ -511,7 +621,15 @@ class TraceGenerator:
         a non-forwarding attribute: two announcements differing only in
         it share the forwarding tuple (AADup) but constitute *policy
         fluctuation*.
+
+        Cached per (pair, variant, med): a pair re-announces the same
+        bundle thousands of times a day, and rebuilding the frozen
+        dataclass dominated the materialization profile.
         """
+        key = (pair, variant, med)
+        attrs = self._attr_cache.get(key)
+        if attrs is not None:
+            return attrs
         prefix, asn = pair
         origin = 1000 + (hash(pair) % 4000)
         if variant == 0:
@@ -520,9 +638,9 @@ class TraceGenerator:
             transit = 5000 + (hash(pair) % 1000)
             path = AsPath((asn, transit, origin))
         peer = self.population.by_asn[asn]
-        return PathAttributes(
-            as_path=path, next_hop=peer.peer_id, med=med
-        )
+        attrs = PathAttributes(as_path=path, next_hop=peer.peer_id, med=med)
+        self._attr_cache[key] = attrs
+        return attrs
 
     def _state(self, pair: Pair) -> _PairState:
         state = self._states.get(pair)
@@ -573,25 +691,22 @@ class TraceGenerator:
         category: UpdateCategory,
         pair: Pair,
         count: int,
-    ) -> List[UpdateRecord]:
-        """Emit the record sequence giving ``pair`` exactly ``count``
-        events of ``category`` today (plus the uncategorized W/boot-
-        strap records the sequences require)."""
+        sink,
+    ) -> None:
+        """Emit into ``sink`` the record sequence giving ``pair``
+        exactly ``count`` events of ``category`` today (plus the
+        uncategorized W/bootstrap records the sequences require)."""
         prefix, asn = pair
         peer = self.population.by_asn[asn]
         state = self._state(pair)
         day_start = plan.day * SECONDS_PER_DAY
-        records: List[UpdateRecord] = []
+        peer_id = peer.peer_id
 
         def announce(
             t: float, variant: int, med: Optional[int] = None
         ) -> None:
-            records.append(
-                UpdateRecord(
-                    t, peer.peer_id, asn, prefix,
-                    UpdateKind.ANNOUNCE,
-                    self._attrs(pair, variant, med=med),
-                )
+            sink.announce(
+                t, peer_id, asn, prefix, self._attrs(pair, variant, med=med)
             )
             state.reachable = True
             state.ever_announced = True
@@ -599,9 +714,7 @@ class TraceGenerator:
             state.med = med
 
         def withdraw(t: float) -> None:
-            records.append(
-                UpdateRecord(t, peer.peer_id, asn, prefix, UpdateKind.WITHDRAW)
-            )
+            sink.withdraw(t, peer_id, asn, prefix)
             state.reachable = False
 
         # Split the count into episodes of a few events each.  Each
@@ -617,7 +730,7 @@ class TraceGenerator:
             remaining -= episode
             bin_index = self._sample_bin(rng, plan)
             if bin_index is None:
-                return records  # whole day lost
+                return  # whole day lost
             t = day_start + (bin_index + rng.random()) * (
                 SECONDS_PER_DAY / BINS_PER_DAY
             )
@@ -674,7 +787,6 @@ class TraceGenerator:
                                  else t)  # PLAIN first
                     withdraw(t)
                 t += period
-        return records
 
     # ------------------------------------------------------------------
     # aggregate tier conveniences

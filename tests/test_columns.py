@@ -1,0 +1,321 @@
+"""Columnar tier equivalence tests.
+
+The streaming classifier is the reference implementation of the
+paper's taxonomy; the columnar tier must reproduce it bit for bit.
+These tests assert record-for-record agreement on randomized mixed
+streams (including cross-batch state carryover), lossless conversion,
+archive roundtrips, and equality of every columnar analysis entry
+point with its streaming counterpart.
+"""
+
+import io
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis.distribution import daily_cdf
+from repro.analysis.interarrival import (
+    histogram_proportions,
+    interarrival_columns,
+    interarrival_times,
+)
+from repro.analysis.timeseries import bin_records
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.collector.log import FileLog
+from repro.collector.mrt import (
+    read_column_batches,
+    read_records,
+    write_columns,
+    write_records,
+)
+from repro.collector.record import UpdateKind, UpdateRecord
+from repro.core.classifier import StreamClassifier, classify
+from repro.core.columns import (
+    NO_ATTR,
+    AttributeTable,
+    ColumnClassifier,
+    RecordColumns,
+    classify_columns,
+    decode_categories,
+)
+from repro.core.instability import (
+    CategoryCounts,
+    counts_by_peer,
+    counts_by_peer_columns,
+    counts_by_prefix_as,
+    counts_by_prefix_as_columns,
+)
+from repro.core.taxonomy import UpdateCategory
+from repro.net.prefix import Prefix
+from repro.workloads.generator import TraceGenerator
+
+#: A small attribute vocabulary exercising every comparison outcome:
+#: two distinct forwarding tuples, plus MED-only variants of each
+#: (same forwarding, different full bundle — the policy-change case).
+_PATH_A = AsPath((701, 3561))
+_PATH_B = AsPath((1239, 3561))
+ATTR_POOL = tuple(
+    PathAttributes(as_path=path, next_hop=hop, med=med)
+    for path, hop in ((_PATH_A, 1), (_PATH_B, 2))
+    for med in (None, 10, 20)
+)
+
+
+def random_stream(rng, n, n_peers=3, n_prefixes=5):
+    """A mixed announce/withdraw stream over a small route universe,
+    dense enough that every taxonomy transition occurs."""
+    prefixes = [Prefix((10 << 24) + (i << 8), 24) for i in range(n_prefixes)]
+    records = []
+    for i in range(n):
+        peer = rng.randrange(n_peers)
+        prefix = rng.choice(prefixes)
+        if rng.random() < 0.55:
+            records.append(
+                UpdateRecord(
+                    float(i), peer + 1, 700 + peer, prefix,
+                    UpdateKind.ANNOUNCE, rng.choice(ATTR_POOL),
+                )
+            )
+        else:
+            records.append(
+                UpdateRecord(
+                    float(i), peer + 1, 700 + peer, prefix,
+                    UpdateKind.WITHDRAW,
+                )
+            )
+    return records
+
+
+def assert_matches_streaming(batches):
+    """Classify ``batches`` on both tiers (carrying state across
+    batches) and compare every record's category and policy flag."""
+    streaming = StreamClassifier()
+    columnar = ColumnClassifier()
+    table = AttributeTable()
+    for batch in batches:
+        columns = RecordColumns.from_records(batch, table)
+        codes, policy = columnar.classify(columns)
+        expected = list(classify(batch, streaming))
+        assert len(expected) == len(codes)
+        for i, update in enumerate(expected):
+            assert codes[i] == update.category.value, (i, update)
+            assert policy[i] == update.policy_change, (i, update)
+
+
+class TestClassifyEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_single_batch(self, seed):
+        rng = random.Random(seed)
+        assert_matches_streaming([random_stream(rng, 600)])
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_cross_batch_carryover(self, seed):
+        """Day-by-day classification must equal one continuous stream:
+        reachability, ever-announced and last-attribute state all carry
+        across batch boundaries."""
+        rng = random.Random(100 + seed)
+        batches = [
+            random_stream(rng, rng.randrange(1, 250)) for _ in range(5)
+        ]
+        assert_matches_streaming(batches)
+
+    def test_tiny_batches(self):
+        """One-record batches force every comparison through the carry
+        path."""
+        rng = random.Random(42)
+        stream = random_stream(rng, 60)
+        assert_matches_streaming([[r] for r in stream])
+
+    def test_empty_batch(self):
+        codes, policy = classify_columns(RecordColumns.empty())
+        assert len(codes) == 0 and len(policy) == 0
+
+    def test_generated_day_stream(self):
+        """The statistical generator's output (the real workload)."""
+        generator = TraceGenerator(seed=5)
+        records = generator.day_records(3, pair_fraction=0.02)
+        assert len(records) > 100
+        assert_matches_streaming([records])
+
+    def test_state_introspection_matches(self):
+        rng = random.Random(7)
+        stream = random_stream(rng, 300)
+        streaming = StreamClassifier()
+        for record in stream:
+            streaming.feed(record)
+        columnar = ColumnClassifier()
+        columnar.classify(RecordColumns.from_records(stream))
+        assert columnar.tracked_routes() == streaming.tracked_routes()
+        for record in stream:
+            assert columnar.is_reachable(
+                record.peer_id, record.prefix
+            ) == streaming.is_reachable(record.peer_id, record.prefix)
+
+
+class TestConversions:
+    def test_roundtrip_lossless(self):
+        rng = random.Random(1)
+        stream = random_stream(rng, 400)
+        columns = RecordColumns.from_records(stream)
+        assert columns.to_records() == stream
+        assert list(columns) == stream
+        assert columns.record(17) == stream[17]
+        assert columns.prefix(17) == stream[17].prefix
+
+    def test_withdrawals_use_sentinel(self):
+        rng = random.Random(2)
+        columns = RecordColumns.from_records(random_stream(rng, 100))
+        withdraws = columns.kind == int(UpdateKind.WITHDRAW)
+        assert (columns.attr_id[withdraws] == NO_ATTR).all()
+        assert (columns.attr_id[~withdraws] < len(columns.attrs)).all()
+
+    def test_concat_remaps_foreign_tables(self):
+        rng = random.Random(3)
+        a = RecordColumns.from_records(random_stream(rng, 150))
+        b = RecordColumns.from_records(random_stream(rng, 150))
+        merged = RecordColumns.concat([a, b])
+        assert merged.to_records() == a.to_records() + b.to_records()
+
+    def test_select_and_sort(self):
+        rng = random.Random(4)
+        stream = random_stream(rng, 200)
+        columns = RecordColumns.from_records(stream)
+        odd = columns.select(np.arange(len(columns)) % 2 == 1)
+        assert odd.to_records() == stream[1::2]
+        shuffled = columns.select(
+            np.asarray(rng.sample(range(len(columns)), len(columns)))
+        )
+        resorted = shuffled.sorted_by_time()
+        assert [r.time for r in resorted] == sorted(r.time for r in stream)
+
+    def test_decode_categories(self):
+        assert decode_categories(
+            np.array([c.value for c in UpdateCategory])
+        ) == list(UpdateCategory)
+
+
+class TestGeneratorColumns:
+    def test_day_columns_equals_day_records(self):
+        """Both materializations consume identical RNG draws, so the
+        streams match record for record, across consecutive days."""
+        g_rec = TraceGenerator(seed=9)
+        g_col = TraceGenerator(seed=9)
+        table = AttributeTable()
+        for day in (20, 21):
+            records = g_rec.day_records(day, pair_fraction=0.03)
+            columns = g_col.day_columns(day, pair_fraction=0.03, attrs=table)
+            assert columns.to_records() == records
+
+    def test_day_columns_shares_attribute_table(self):
+        generator = TraceGenerator(seed=9)
+        table = AttributeTable()
+        a = generator.day_columns(20, pair_fraction=0.03, attrs=table)
+        b = generator.day_columns(21, pair_fraction=0.03, attrs=table)
+        assert a.attrs is table and b.attrs is table
+
+
+class TestColumnarArchive:
+    def test_write_columns_bytes_identical(self):
+        rng = random.Random(5)
+        stream = random_stream(rng, 300)
+        columns = RecordColumns.from_records(stream)
+        buf_columns, buf_records = io.BytesIO(), io.BytesIO()
+        write_columns(buf_columns, columns)
+        write_records(buf_records, stream)
+        assert buf_columns.getvalue() == buf_records.getvalue()
+
+    def test_read_column_batches_matches_streaming_reader(self):
+        rng = random.Random(6)
+        stream = random_stream(rng, 500)
+        buf = io.BytesIO()
+        write_records(buf, stream)
+        buf.seek(0)
+        expected = list(read_records(buf))
+        buf.seek(0)
+        batches = list(read_column_batches(buf, batch_size=64))
+        assert all(len(b) <= 64 for b in batches)
+        assert sum(len(b) for b in batches) == len(expected)
+        merged = RecordColumns.concat(batches)
+        assert merged.to_records() == expected
+
+    def test_filelog_columnar_roundtrip(self, tmp_path):
+        generator = TraceGenerator(seed=8)
+        columns = generator.day_columns(2, pair_fraction=0.02)
+        log = FileLog(tmp_path / "a.mrt")
+        with log.writer() as writer:
+            writer.extend_columns(columns)
+            assert writer.count == len(columns)
+        back = log.read_columns()
+        # Streaming and columnar readers agree (times quantized to the
+        # archive's microsecond resolution by both).
+        assert back.to_records() == log.read_all()
+        assert len(back) == len(columns)
+
+
+class TestColumnarAnalyses:
+    def _classified(self, seed=11, n=800):
+        rng = random.Random(seed)
+        stream = random_stream(rng, n)
+        columns = RecordColumns.from_records(stream)
+        codes, policy = classify_columns(columns)
+        updates = list(classify(stream))
+        return stream, columns, codes, policy, updates
+
+    def test_category_counts_from_codes(self):
+        _, _, codes, policy, updates = self._classified()
+        expected = CategoryCounts()
+        expected.extend(updates)
+        result = CategoryCounts.from_codes(codes, policy)
+        assert result.counts == expected.counts
+        assert result.policy_changes == expected.policy_changes
+        assert result.instability == expected.instability
+        assert result.pathological == expected.pathological
+
+    def test_counts_by_peer_columns(self):
+        _, columns, codes, policy, updates = self._classified()
+        expected = counts_by_peer(updates)
+        result = counts_by_peer_columns(columns, codes, policy)
+        assert set(result) == set(expected)
+        for asn in expected:
+            assert result[asn].counts == expected[asn].counts
+            assert result[asn].policy_changes == expected[asn].policy_changes
+
+    @pytest.mark.parametrize(
+        "category", [None, UpdateCategory.AADUP, UpdateCategory.WWDUP]
+    )
+    def test_counts_by_prefix_as_columns(self, category):
+        _, columns, codes, _, updates = self._classified()
+        assert counts_by_prefix_as_columns(
+            columns, codes, category
+        ) == counts_by_prefix_as(updates, category)
+
+    def test_daily_cdf_columns(self):
+        _, columns, codes, _, updates = self._classified()
+        streaming = daily_cdf(updates, UpdateCategory.AADUP)
+        columnar = daily_cdf((columns, codes), UpdateCategory.AADUP)
+        assert columnar.thresholds == streaming.thresholds
+        assert columnar.cumulative == streaming.cumulative
+        assert columnar.total_events == streaming.total_events
+
+    def test_interarrival_columns(self):
+        _, columns, codes, _, updates = self._classified()
+        for category in (None, UpdateCategory.AADUP):
+            streaming = sorted(interarrival_times(updates, category))
+            columnar = np.sort(
+                interarrival_columns(columns, codes, category)
+            )
+            assert len(streaming) == len(columnar)
+            assert np.allclose(streaming, columnar)
+            # The tuple dispatch and the vectorized histogram agree too.
+            tupled = interarrival_times((columns, codes), category)
+            assert histogram_proportions(tupled) == histogram_proportions(
+                interarrival_times(updates, category)
+            )
+
+    def test_bin_records_columnar(self):
+        stream, columns, _, _, _ = self._classified()
+        streaming = bin_records(stream, bin_width=60.0)
+        assert (bin_records(columns, bin_width=60.0) == streaming).all()
+        times = np.array([r.time for r in stream])
+        assert (bin_records(times, bin_width=60.0) == streaming).all()

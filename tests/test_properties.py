@@ -219,8 +219,10 @@ def test_router_pair_eventually_consistent(sequence):
     prefixes = [Prefix((90 << 24) + i * 65536, 16) for i in range(6)]
     final_state = {}
     # Events fire in time order (FIFO on ties, matching the stable
-    # sort), so the expected end state follows the same ordering.
-    for when, index, up in sorted(sequence, key=lambda e: e[0]):
+    # sort).  Order by the *effective* scheduled time: tiny offsets
+    # (e.g. 1e-144) collapse into 30.0 in float arithmetic, so sorting
+    # the raw offsets would disagree with the engine's fire order.
+    for when, index, up in sorted(sequence, key=lambda e: 30.0 + e[0]):
         final_state[prefixes[index]] = up
     for when, index, up in sequence:
         prefix = prefixes[index]

@@ -1,88 +1,62 @@
 #!/usr/bin/env python3
-"""The whole pipeline in one run: generate → archive → decode → analyze.
+"""The whole pipeline in one run: generate → archive → classify → analyze.
 
-A miniature of the paper's nine-month study:
+A miniature of the paper's nine-month study, now expressed as a
+single :class:`~repro.campaign.CampaignConfig` plus one
+:func:`~repro.campaign.run_campaign` call.  The runner partitions the
+campaign into per-day-range shards, runs each shard's generate →
+archive → decode/classify → analyze pipeline on the columnar tier
+(optionally across a multiprocessing pool — try ``--workers 4``), and
+merges the partial results; the merged numbers are bit-identical for
+any worker count, and a killed run resumes from its shard manifests
+(``--out DIR`` twice).
 
-1. generate a two-week calibrated campaign with the statistical
-   generator,
-2. archive it to disk in the internal MRT-flavoured format (the
-   Routing Arbiter's collect step),
-3. read the archive back and classify it (the decode step),
-4. run the headline analyses: taxonomy breakdown, instability density
-   summary, inter-arrival timer mass, affected-route fractions.
-
-The run rides the columnar tier end to end — records are materialized,
-archived, decoded, classified and aggregated as
-:class:`~repro.core.columns.RecordColumns` batches; no per-record
-Python object is built anywhere (see docs/PERFORMANCE.md).
-
-Run:  python examples/full_campaign.py  [--days N]
+Run:  python examples/full_campaign.py  [--days N] [--workers W]
 """
 
 import argparse
-import tempfile
-from pathlib import Path
 
 import numpy as np
 
-from repro.analysis.interarrival import (
-    histogram_proportions,
-    interarrival_times,
-    timer_bin_mass,
-)
-from repro.analysis.timeseries import bin_records
-from repro.collector.log import FileLog
+from repro.campaign import CampaignConfig, run_campaign
 from repro.collector.store import SECONDS_PER_DAY
-from repro.core.columns import AttributeTable, ColumnClassifier
-from repro.core.instability import CategoryCounts
-from repro.core.taxonomy import FINE_GRAINED_CATEGORIES
-from repro.workloads.generator import PeerPopulation, TraceGenerator
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--days", type=int, default=14)
     parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument(
+        "--out", default=None,
+        help="shard archive/manifest directory (enables resume)",
+    )
     args = parser.parse_args()
 
-    # 1. Generate.  A 4,000-pair population keeps the record tier
-    # unbiased without subsampling (see DESIGN.md section 7).
-    population = PeerPopulation.synthesize(
-        n_peers=30, total_prefixes=4000, seed=args.seed
+    # The whole study in one config: a 4,000-pair population keeps the
+    # record tier unbiased without subsampling (DESIGN.md section 7);
+    # the fine-grained category set skips the WWDup flood, like the
+    # paper's figures 6-8.
+    config = CampaignConfig(
+        days=args.days,
+        seed=args.seed,
+        shards=min(args.shards, args.days),
+        n_peers=30,
+        total_prefixes=4000,
+        out=args.out,
+        categories=("AADIFF", "WADIFF", "AADUP", "WADUP"),
     )
-    generator = TraceGenerator(population=population, seed=args.seed)
-    print(f"Generating {args.days} days of fine-grained records...")
-    archive = Path(tempfile.mkdtemp()) / "campaign.mrt"
-
-    # 2. Archive (one columnar batch per day — a month never sits in
-    # memory at once, and no per-record objects are built).
-    table = AttributeTable()
-    with FileLog(archive).writer() as writer:
-        for day in range(args.days):
-            writer.extend_columns(
-                generator.day_columns(
-                    day, pair_fraction=1.0,
-                    categories=FINE_GRAINED_CATEGORIES, attrs=table,
-                )
-            )
-    size_kb = archive.stat().st_size / 1024
-    print(f"  archived {writer.count:,} records ({size_kb:,.0f} KiB) "
-          f"to {archive}")
-
-    # 3. Decode + classify, columnar.  The classifier carries per-route
-    # state across batches, so batched decoding classifies exactly like
-    # one continuous stream.
-    print("Decoding and classifying the archive...")
-    classifier = ColumnClassifier()
-    columns = FileLog(archive).read_columns()
-    codes, policy = classifier.classify(columns)
-    counts = CategoryCounts.from_codes(codes, policy)
-    day_index = (columns.time // SECONDS_PER_DAY).astype(np.int64)
-    print(f"  {counts.total:,} updates across "
-          f"{len(np.unique(day_index))} days")
+    print(f"Running a {config.days}-day campaign "
+          f"({config.shards} shards, {args.workers} workers)...")
+    result = run_campaign(config, workers=args.workers, resume=bool(args.out))
+    counts = result.counts
+    print(f"  {result.records:,} records, "
+          f"{result.shards_run} shard(s) run + "
+          f"{result.shards_loaded} loaded, in {result.elapsed:.1f}s")
     print()
 
-    # 4a. Taxonomy breakdown.
+    # Taxonomy breakdown.
     print("Taxonomy breakdown:")
     for name, value in sorted(counts.as_dict().items()):
         if value:
@@ -90,50 +64,38 @@ def main() -> None:
     print(f"  policy fluctuation within AADup: {counts.policy_changes:,}")
     print()
 
-    # 4b. Daily and diurnal structure.
-    bins = bin_records(columns, bin_width=600.0,
-                       end=args.days * SECONDS_PER_DAY)
-    daily = bins.reshape(args.days, 144)
-    night = daily[:, 0:36].sum()
-    afternoon = daily[:, 72:144].sum()
+    # Daily and diurnal structure, from the merged bin series.
+    bins_per_day = config.bins_per_day
+    daily = result.bin_counts().reshape(config.days, bins_per_day)
+    night = daily[:, 0:bins_per_day // 4].sum()
+    afternoon = daily[:, bins_per_day // 2:].sum()
     print("Temporal structure:")
     print(f"  night (00-06) updates:      {night:,}")
     print(f"  afternoon+evening (12-24):  {afternoon:,} "
           f"({afternoon / max(1, night):.1f}x the night level)")
-    weekday = daily[[d for d in range(args.days) if d % 7 < 5]].sum()
-    weekend = daily[[d for d in range(args.days) if d % 7 >= 5]].sum()
+    weekday = daily[[d for d in range(config.days) if d % 7 < 5]].sum()
+    weekend = daily[[d for d in range(config.days) if d % 7 >= 5]].sum()
     if weekend:
         print(f"  weekday vs weekend volume:  {weekday / weekend:.1f}x")
     print()
 
-    # 4c. The 30/60-second signature.
-    gaps = interarrival_times((columns, codes))
-    mass = timer_bin_mass(histogram_proportions(gaps))
-    print(f"Inter-arrival timer mass (30s + 1m bins): {mass:.0%} "
-          "(paper: ~half)")
+    # The 30/60-second signature, from the merged histograms.
+    print(f"Inter-arrival timer mass (30s + 1m bins): "
+          f"{result.timer_mass:.0%} (paper: ~half)")
     print()
 
-    # 4d. Affected routes: distinct Prefix+AS pairs per day, from one
-    # np.unique over (day, pair) keys.
-    total_pairs = population.total_pairs
-    pair_keys = np.empty(
-        len(columns),
-        dtype=[("day", "i8"), ("asn", "u4"), ("net", "u4"), ("plen", "u1")],
-    )
-    pair_keys["day"] = day_index
-    pair_keys["asn"] = columns.peer_asn
-    pair_keys["net"] = columns.net
-    pair_keys["plen"] = columns.plen
-    unique_pairs = np.unique(pair_keys)
-    per_day = np.bincount(unique_pairs["day"], minlength=args.days)
-    fractions = per_day[np.flatnonzero(per_day)] / total_pairs
-    print(
-        f"Fine-grained affected-route fraction/day: "
-        f"median {np.median(fractions):.0%}, "
-        f"range {fractions.min():.0%}-{fractions.max():.0%}"
-    )
-    print()
-    print(f"(archive left at {archive} for `python -m repro`-style replay)")
+    # Affected routes per day, from the merged per-day pair counts.
+    fractions = result.affected_fractions()
+    if len(fractions):
+        print(
+            f"Fine-grained affected-route fraction/day: "
+            f"median {np.median(fractions):.0%}, "
+            f"range {fractions.min():.0%}-{fractions.max():.0%}"
+        )
+    if args.out:
+        print()
+        print(f"(shard archives + manifests in {args.out}; rerun with "
+              f"--out to resume a killed campaign)")
 
 
 if __name__ == "__main__":

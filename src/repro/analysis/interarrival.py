@@ -29,7 +29,9 @@ __all__ = [
     "bin_label",
     "interarrival_times",
     "interarrival_columns",
+    "histogram_counts",
     "histogram_proportions",
+    "proportions_from_counts",
     "BinBox",
     "daily_boxes",
     "timer_bin_mass",
@@ -112,17 +114,35 @@ def interarrival_columns(
     return np.diff(s["time"])[same_pair]
 
 
+def histogram_counts(gaps: Sequence[float]) -> np.ndarray:
+    """Raw per-bin gap counts (gaps above 24h are dropped).
+
+    The mergeable form of the Figure 8 histogram: partial counts from
+    independent shards sum with ``+`` (associative, commutative, zero
+    array as identity) and :func:`proportions_from_counts` turns the
+    merged total into the paper's proportions.
+    """
+    if not isinstance(gaps, np.ndarray):
+        gaps = np.asarray(list(gaps), dtype=float)
+    # Bin b holds gaps in (edge[b-1], edge[b]].
+    indices = np.searchsorted(FIGURE8_BINS, gaps, side="left")
+    indices = indices[indices < len(FIGURE8_BINS)]  # drop > 24h
+    return np.bincount(indices, minlength=len(FIGURE8_BINS)).astype(np.int64)
+
+
+def proportions_from_counts(counts: Sequence[int]) -> List[float]:
+    """Per-bin proportions from raw counts (all zeros if empty)."""
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return [0.0] * len(FIGURE8_BINS)
+    return (counts / total).tolist()
+
+
 def histogram_proportions(gaps: Sequence[float]) -> List[float]:
     """The proportion of ``gaps`` in each Figure 8 bin."""
     if isinstance(gaps, np.ndarray):
-        # Vectorized: bin b holds gaps in (edge[b-1], edge[b]].
-        indices = np.searchsorted(FIGURE8_BINS, gaps, side="left")
-        indices = indices[indices < len(FIGURE8_BINS)]  # drop > 24h
-        total = len(indices)
-        if total == 0:
-            return [0.0] * len(FIGURE8_BINS)
-        counts = np.bincount(indices, minlength=len(FIGURE8_BINS))
-        return (counts / total).tolist()
+        return proportions_from_counts(histogram_counts(gaps))
     counts = [0] * len(FIGURE8_BINS)
     total = 0
     for gap in gaps:

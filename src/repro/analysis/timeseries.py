@@ -11,7 +11,8 @@ filtering."
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,6 +21,7 @@ from ..collector.store import SECONDS_PER_DAY
 
 __all__ = [
     "bin_records",
+    "BinnedSeries",
     "aggregate_bins",
     "log_detrend",
     "linear_fit",
@@ -58,6 +60,109 @@ def bin_records(
     indices = np.floor((times - start) / bin_width).astype(int)
     valid = (indices >= 0) & (indices < n_bins)
     return np.bincount(indices[valid], minlength=n_bins)
+
+
+@dataclass(frozen=True, eq=False)
+class BinnedSeries:
+    """A mergeable window of fixed-width bin counts.
+
+    ``offset`` positions the window on the global bin axis (bin index
+    of ``counts[0]``), so partial series computed over disjoint time
+    ranges — e.g. one campaign shard each — can be summed into the
+    full-campaign series with ``+``.  Merging is associative and
+    commutative (integer addition over the span union), so shard order
+    never matters; the zero-length series is the identity.
+    """
+
+    offset: int
+    counts: np.ndarray
+    width: float = 600.0
+
+    @classmethod
+    def empty(cls, width: float = 600.0) -> "BinnedSeries":
+        """The merge identity."""
+        return cls(0, np.zeros(0, dtype=np.int64), width)
+
+    @classmethod
+    def from_records(
+        cls,
+        records,
+        bin_width: float,
+        start: float,
+        end: float,
+    ) -> "BinnedSeries":
+        """Bin ``records`` over ``[start, end)`` (see
+        :func:`bin_records`); ``start`` must sit on a bin boundary."""
+        offset, remainder = divmod(start, bin_width)
+        if remainder:
+            raise ValueError(
+                f"start {start} is not a multiple of bin_width {bin_width}"
+            )
+        counts = bin_records(records, bin_width, start=start, end=end)
+        return cls(int(offset), counts.astype(np.int64), bin_width)
+
+    @property
+    def end(self) -> int:
+        """One past the last bin index covered."""
+        return self.offset + len(self.counts)
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def __add__(self, other: "BinnedSeries") -> "BinnedSeries":
+        if isinstance(other, int) and other == 0:  # sum() start value
+            return self
+        if not isinstance(other, BinnedSeries):
+            return NotImplemented
+        if len(self.counts) == 0:
+            return other
+        if len(other.counts) == 0:
+            return self
+        if self.width != other.width:
+            raise ValueError(
+                f"bin widths differ: {self.width} vs {other.width}"
+            )
+        lo = min(self.offset, other.offset)
+        hi = max(self.end, other.end)
+        merged = np.zeros(hi - lo, dtype=np.int64)
+        merged[self.offset - lo:self.end - lo] += self.counts
+        merged[other.offset - lo:other.end - lo] += other.counts
+        return BinnedSeries(lo, merged, self.width)
+
+    __radd__ = __add__
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BinnedSeries):
+            return NotImplemented
+        return (
+            self.width == other.width
+            and self.offset == other.offset
+            and len(self.counts) == len(other.counts)
+            and bool((self.counts == other.counts).all())
+        )
+
+    def dense(self, total_bins: Optional[int] = None) -> np.ndarray:
+        """The series as a plain array starting at bin 0, zero-padded
+        to ``total_bins`` (default: just past the last covered bin)."""
+        n = max(self.end, total_bins or 0)
+        out = np.zeros(n, dtype=np.int64)
+        out[self.offset:self.end] = self.counts
+        return out
+
+    def to_payload(self) -> dict:
+        return {
+            "offset": self.offset,
+            "width": self.width,
+            "counts": self.counts.tolist(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "BinnedSeries":
+        return cls(
+            int(payload["offset"]),
+            np.asarray(payload["counts"], dtype=np.int64),
+            float(payload["width"]),
+        )
 
 
 def aggregate_bins(counts: Sequence[int], factor: int) -> np.ndarray:

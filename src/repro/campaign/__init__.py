@@ -1,0 +1,26 @@
+"""The campaign layer: sharded, resumable multi-day runs.
+
+One :class:`CampaignConfig` describes a whole multi-day, multi-
+exchange workload; :func:`run_campaign` partitions it into
+self-contained shards, executes them across a process pool on the
+columnar tier, and merges the mergeable partial results into a
+:class:`CampaignResult` that is bit-identical regardless of worker
+count, shard completion order, or kill/resume cycles.
+"""
+
+from .config import CampaignConfig, ShardSpec
+from .manifest import CampaignLayout, ConfigMismatch
+from .results import CampaignResult, PartialResult, merge_partials
+from .runner import run_campaign, run_shard
+
+__all__ = [
+    "CampaignConfig",
+    "ShardSpec",
+    "CampaignLayout",
+    "ConfigMismatch",
+    "CampaignResult",
+    "PartialResult",
+    "merge_partials",
+    "run_campaign",
+    "run_shard",
+]

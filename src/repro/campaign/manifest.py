@@ -1,0 +1,154 @@
+"""Shard manifests: the campaign's resume ledger.
+
+A campaign output directory is laid out as::
+
+    <out>/
+      campaign.json            # config fingerprint + payload (schema 1)
+      shards/shard-0003.mrt    # the shard's generated archive
+      results/shard-0003.json  # the shard's PartialResult payload
+      manifest/shard-0003.json # written LAST, marks the shard done
+
+Each manifest entry records the shard spec (exchange, day range,
+seeds), the record count, and SHA-256 digests of both the archive and
+the result payload.  Because the manifest file is written only after
+the archive and result are safely on disk, a killed run leaves at
+worst a result without a manifest — which a resumed run simply
+recomputes.  On ``--resume`` the runner loads every manifested shard
+whose digests verify and re-runs only the rest, so finished days are
+never regenerated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from .config import CampaignConfig, ShardSpec, canonical_json, sha256_text
+from .results import PartialResult
+
+__all__ = [
+    "CampaignLayout",
+    "ConfigMismatch",
+    "SCHEMA_VERSION",
+]
+
+SCHEMA_VERSION = 1
+
+
+class ConfigMismatch(RuntimeError):
+    """Raised when resuming into an output directory whose recorded
+    config fingerprint differs from the requested config."""
+
+
+class CampaignLayout:
+    """Path scheme + manifest IO for one campaign output directory."""
+
+    def __init__(self, out: Union[str, Path]) -> None:
+        self.root = Path(out)
+        self.shards_dir = self.root / "shards"
+        self.results_dir = self.root / "results"
+        self.manifest_dir = self.root / "manifest"
+        self.campaign_file = self.root / "campaign.json"
+
+    def prepare(self) -> None:
+        for directory in (
+            self.root, self.shards_dir, self.results_dir, self.manifest_dir
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    # -- per-shard paths ----------------------------------------------------
+
+    def archive_path(self, spec: ShardSpec) -> Path:
+        return self.shards_dir / f"{spec.name}.mrt"
+
+    def result_path(self, spec: ShardSpec) -> Path:
+        return self.results_dir / f"{spec.name}.json"
+
+    def manifest_path(self, spec: ShardSpec) -> Path:
+        return self.manifest_dir / f"{spec.name}.json"
+
+    # -- campaign fingerprint -----------------------------------------------
+
+    def write_campaign(self, config: CampaignConfig) -> None:
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "fingerprint": config.fingerprint(),
+            "config": config.to_payload(),
+        }
+        self.campaign_file.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+
+    def check_campaign(self, config: CampaignConfig) -> None:
+        """Verify a pre-existing directory matches ``config`` (no file
+        yet is fine — a fresh run writes one)."""
+        if not self.campaign_file.exists():
+            return
+        recorded = json.loads(self.campaign_file.read_text())
+        if recorded.get("fingerprint") != config.fingerprint():
+            raise ConfigMismatch(
+                f"{self.campaign_file} was written by a different "
+                "CampaignConfig; refusing to mix shards (use a fresh "
+                "--out, or rerun with the original parameters)"
+            )
+
+    # -- shard completion ---------------------------------------------------
+
+    def write_shard(
+        self,
+        spec: ShardSpec,
+        partial_payload: dict,
+        records: int,
+        archive_sha256: Optional[str],
+    ) -> None:
+        """Persist one finished shard; the manifest entry goes last so
+        its presence implies the result is durable."""
+        result_text = canonical_json(partial_payload)
+        self.result_path(spec).write_text(result_text + "\n")
+        manifest = {
+            "schema": SCHEMA_VERSION,
+            **spec.to_payload(),
+            "records": records,
+            "archive": (
+                None
+                if archive_sha256 is None
+                else os.path.join("shards", f"{spec.name}.mrt")
+            ),
+            "archive_sha256": archive_sha256,
+            "result": os.path.join("results", f"{spec.name}.json"),
+            "result_sha256": sha256_text(result_text),
+        }
+        self.manifest_path(spec).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        )
+
+    def load_shard(self, spec: ShardSpec) -> Optional[PartialResult]:
+        """The shard's persisted partial, or None when it is missing,
+        stale (spec mismatch), or fails digest verification."""
+        manifest_path = self.manifest_path(spec)
+        result_path = self.result_path(spec)
+        if not (manifest_path.exists() and result_path.exists()):
+            return None
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError:
+            return None
+        if manifest.get("schema") != SCHEMA_VERSION:
+            return None
+        if {k: manifest.get(k) for k in spec.to_payload()} != spec.to_payload():
+            return None
+        result_text = result_path.read_text().rstrip("\n")
+        if sha256_text(result_text) != manifest.get("result_sha256"):
+            return None
+        return PartialResult.from_payload(json.loads(result_text))
+
+    def completed(self, plan) -> Dict[int, PartialResult]:
+        """All verifiably finished shards of ``plan``, by index."""
+        loaded: Dict[int, PartialResult] = {}
+        for spec in plan:
+            partial = self.load_shard(spec)
+            if partial is not None:
+                loaded[spec.index] = partial
+        return loaded

@@ -1,0 +1,264 @@
+"""The sharded, resumable campaign runner.
+
+:func:`run_campaign` expands a
+:class:`~repro.campaign.config.CampaignConfig` into its shard plan,
+runs ``generate → archive → classify → analyze`` for every shard not
+already completed on disk, and merges the partial results into one
+:class:`~repro.campaign.results.CampaignResult`.
+
+Shards execute either inline (``workers <= 1``) or in a
+``multiprocessing`` pool.  Determinism is structural, not
+coincidental: each shard builds a fresh generator and classifier from
+seeds carried by its :class:`~repro.campaign.config.ShardSpec`, runs
+entirely on the columnar tier, and returns integer aggregates whose
+merge is associative — so the merged result is a function of the
+config alone, bit-identical across worker counts, completion orders,
+and kill/resume cycles (proven in ``tests/test_campaign.py``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.interarrival import interarrival_columns, histogram_counts
+from ..analysis.timeseries import BinnedSeries
+from ..collector.log import FileLog
+from ..collector.store import SECONDS_PER_DAY
+from ..core.columns import AttributeTable, ColumnClassifier, RecordColumns
+from ..core.instability import (
+    CategoryCounts,
+    counts_by_peer_columns,
+    counts_by_prefix_columns,
+)
+from ..core.taxonomy import FINE_GRAINED_CATEGORIES
+from ..workloads.generator import campaign_generator
+from .config import CampaignConfig, ShardSpec
+from .manifest import CampaignLayout
+from .results import TOTAL, CampaignResult, PartialResult
+
+__all__ = ["run_campaign", "run_shard", "ShardOutcome"]
+
+#: Progress callback signature: (spec, "run" | "loaded", records).
+ProgressFn = Callable[[ShardSpec, str, int], None]
+
+ShardOutcome = Tuple[int, dict, int, Optional[str]]
+# (shard index, partial payload, record count, archive sha256)
+
+
+def _pairs_per_day(columns: RecordColumns) -> Dict[int, int]:
+    """Distinct Prefix+AS pairs per day, via one np.unique over
+    (day, peer ASN, prefix) keys (the Figure 9 'affected routes'
+    numerator, computed shard-locally — days never span shards)."""
+    if len(columns) == 0:
+        return {}
+    keys = np.empty(
+        len(columns),
+        dtype=[("day", "i8"), ("asn", "u4"), ("net", "u4"), ("plen", "u1")],
+    )
+    keys["day"] = (columns.time // SECONDS_PER_DAY).astype(np.int64)
+    keys["asn"] = columns.peer_asn
+    keys["net"] = columns.net
+    keys["plen"] = columns.plen
+    unique = np.unique(keys)
+    days, counts = np.unique(unique["day"], return_counts=True)
+    return {
+        int(day): int(count)
+        for day, count in zip(days.tolist(), counts.tolist())
+    }
+
+
+def run_shard(
+    config: CampaignConfig,
+    spec: ShardSpec,
+    layout: Optional[CampaignLayout] = None,
+) -> Tuple[PartialResult, int, Optional[str]]:
+    """Run one shard's full pipeline; pure function of its arguments.
+
+    Generates the spec's day range with a fresh generator, archives
+    the columnar batches day by day (when a layout is given), decodes
+    the archive back, classifies it with a fresh classifier, and
+    computes the shard's mergeable aggregates.  Returns ``(partial,
+    record count, archive digest or None)``.
+    """
+    generator = campaign_generator(
+        n_peers=config.n_peers,
+        total_prefixes=config.total_prefixes,
+        population_seed=spec.population_seed,
+        generator_seed=spec.generator_seed,
+    )
+    categories = config.category_set()
+    table = AttributeTable()
+
+    # 1. Generate + archive, one columnar batch per day (a long shard
+    # never holds unarchived days in memory alongside the decode).
+    archive_sha256: Optional[str] = None
+    if layout is not None:
+        archive = FileLog(layout.archive_path(spec))
+        with archive.writer() as writer:
+            for day in spec.days:
+                writer.extend_columns(
+                    generator.day_columns(
+                        day,
+                        pair_fraction=config.pair_fraction,
+                        categories=categories,
+                        attrs=table,
+                    )
+                )
+        archive_sha256 = archive.sha256()
+        # 2. Decode: read the archive back (the collect→decode step of
+        # the paper's pipeline; also verifies the round trip).
+        columns = archive.read_columns()
+    else:
+        batches = [
+            generator.day_columns(
+                day,
+                pair_fraction=config.pair_fraction,
+                categories=categories,
+                attrs=table,
+            )
+            for day in spec.days
+        ]
+        columns = RecordColumns.concat(batches)
+
+    # 3. Classify on the columnar tier (fresh per-shard state; shard
+    # boundaries are the campaign's defined classification restarts).
+    codes, policy = ColumnClassifier().classify(columns)
+
+    # 4. Analyze into the mergeable aggregates.
+    shard_counts = CategoryCounts.from_codes(codes, policy)
+    bins = BinnedSeries.from_records(
+        columns,
+        config.bin_width,
+        start=spec.day_lo * SECONDS_PER_DAY,
+        end=spec.day_hi * SECONDS_PER_DAY,
+    )
+    interarrival = {
+        TOTAL: histogram_counts(interarrival_columns(columns))
+    }
+    for category in FINE_GRAINED_CATEGORIES:
+        interarrival[category.name] = histogram_counts(
+            interarrival_columns(columns, codes, category)
+        )
+    partial = PartialResult(
+        records=len(columns),
+        counts=shard_counts,
+        bins=bins,
+        interarrival=interarrival,
+        by_peer=counts_by_peer_columns(columns, codes, policy),
+        by_prefix=counts_by_prefix_columns(columns),
+        pairs_per_day=_pairs_per_day(columns),
+        by_exchange={spec.exchange: shard_counts},
+    )
+    return partial, len(columns), archive_sha256
+
+
+def _shard_task(task: Tuple[dict, dict, Optional[str]]) -> ShardOutcome:
+    """Pool entry point (top-level so it pickles under spawn)."""
+    config_payload, spec_payload, out = task
+    config = CampaignConfig.from_payload(config_payload, out=out)
+    spec = ShardSpec(
+        index=int(spec_payload["index"]),
+        exchange=spec_payload["exchange"],
+        day_lo=int(spec_payload["days"][0]),
+        day_hi=int(spec_payload["days"][1]),
+        population_seed=int(spec_payload["population_seed"]),
+        generator_seed=int(spec_payload["generator_seed"]),
+    )
+    layout = None
+    if out is not None:
+        layout = CampaignLayout(out)
+    partial, records, archive_sha256 = run_shard(config, spec, layout)
+    return spec.index, partial.to_payload(), records, archive_sha256
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def run_campaign(
+    config: CampaignConfig,
+    workers: int = 1,
+    resume: bool = False,
+    stop_after: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+) -> CampaignResult:
+    """Run (or resume) a campaign; see module docstring.
+
+    ``workers`` sets the process-pool size (``<= 1`` runs inline —
+    the reference execution every pool size must reproduce).
+    ``resume`` loads verifiably completed shards from ``config.out``
+    instead of re-running them.  ``stop_after`` caps how many *new*
+    shards run before returning a partial result — the programmatic
+    stand-in for a killed run (the manifest tests and checkpoint
+    demos use it); it is honored exactly only with ``workers <= 1``.
+    """
+    started = time.perf_counter()
+    plan = config.shard_plan()
+    layout: Optional[CampaignLayout] = None
+    if config.out is not None:
+        layout = CampaignLayout(config.out)
+        layout.check_campaign(config)
+        layout.prepare()
+        layout.write_campaign(config)
+
+    partials: Dict[int, PartialResult] = {}
+    loaded = 0
+    if resume and layout is not None:
+        partials = layout.completed(plan)
+        loaded = len(partials)
+        if progress is not None:
+            for spec in plan:
+                if spec.index in partials:
+                    progress(spec, "loaded", partials[spec.index].records)
+
+    pending = [spec for spec in plan if spec.index not in partials]
+    if stop_after is not None:
+        pending = pending[:max(0, stop_after)]
+
+    by_index = {spec.index: spec for spec in plan}
+
+    def finish(outcome: ShardOutcome) -> None:
+        index, payload, records, archive_sha256 = outcome
+        partials[index] = PartialResult.from_payload(payload)
+        if layout is not None:
+            layout.write_shard(
+                by_index[index], payload, records, archive_sha256
+            )
+        if progress is not None:
+            progress(by_index[index], "run", records)
+
+    ran = len(pending)
+    if pending:
+        tasks = [
+            (config.to_payload(), spec.to_payload(), config.out)
+            for spec in pending
+        ]
+        if workers <= 1 or len(pending) == 1:
+            for task in tasks:
+                finish(_shard_task(task))
+        else:
+            context = _pool_context()
+            with context.Pool(min(workers, len(pending))) as pool:
+                # Unordered: shards land as they finish; the merge
+                # below re-imposes shard-index order.
+                for outcome in pool.imap_unordered(_shard_task, tasks):
+                    finish(outcome)
+
+    merged = PartialResult.empty()
+    for index in sorted(partials):
+        merged = merged + partials[index]
+    return CampaignResult(
+        config=config,
+        partial=merged,
+        shard_count=len(plan),
+        shards_run=ran,
+        shards_loaded=loaded,
+        elapsed=time.perf_counter() - started,
+    )

@@ -91,6 +91,17 @@ class FileLog:
 
         return RecordColumns.concat(list(self.iter_column_batches(attrs=attrs)))
 
+    def sha256(self) -> str:
+        """Hex digest of the archive bytes (campaign shard manifests
+        record this so a resumed run can verify finished output)."""
+        import hashlib
+
+        digest = hashlib.sha256()
+        with open(self.path, "rb") as stream:
+            for chunk in iter(lambda: stream.read(1 << 20), b""):
+                digest.update(chunk)
+        return digest.hexdigest()
+
 
 class _FileLogWriter:
     """Streaming writer for :class:`FileLog` (context manager)."""

@@ -116,14 +116,49 @@ class CategoryCounts:
         return self.pathological / self.total if self.total else 0.0
 
     def merged(self, other: "CategoryCounts") -> "CategoryCounts":
+        """A new tally combining both (associative; the empty
+        :class:`CategoryCounts` is the identity) — the campaign
+        layer's shard-merge operation, also spelled ``+``."""
         result = CategoryCounts()
         result.counts = self.counts + other.counts
         result.policy_changes = self.policy_changes + other.policy_changes
         return result
 
+    def __add__(self, other: object) -> "CategoryCounts":
+        if isinstance(other, int) and other == 0:  # sum() start value
+            return self
+        if not isinstance(other, CategoryCounts):
+            return NotImplemented
+        return self.merged(other)
+
+    __radd__ = __add__
+
     def as_dict(self) -> Dict[str, int]:
         """Plain dict keyed by category name (for reports/JSON)."""
         return {cat.name: self.counts.get(cat, 0) for cat in UpdateCategory}
+
+    def nonzero_dict(self) -> Dict[str, int]:
+        """Like :meth:`as_dict` but only categories that occurred —
+        the canonical serialized form (zero entries would make equal
+        tallies serialize differently)."""
+        return {
+            cat.name: self.counts[cat]
+            for cat in UpdateCategory
+            if self.counts.get(cat, 0)
+        }
+
+    @classmethod
+    def from_dict(
+        cls, payload: Dict[str, int], policy_changes: int = 0
+    ) -> "CategoryCounts":
+        """Rebuild a tally from :meth:`as_dict`/:meth:`nonzero_dict`
+        output (zero entries are dropped, so the round trip is
+        canonical)."""
+        result = cls(policy_changes=policy_changes)
+        for name, value in payload.items():
+            if value:
+                result.counts[UpdateCategory[name]] = value
+        return result
 
 
 def counts_by_peer(

@@ -1,6 +1,18 @@
 """Experiment runners: one per paper table/figure, plus the headline
 pathology study and the countermeasure ablations."""
 
-from .registry import EXPERIMENTS, experiment_ids, run_experiment
+from .registry import (
+    EXPERIMENTS,
+    SPECS,
+    ExperimentSpec,
+    experiment_ids,
+    run_experiment,
+)
 
-__all__ = ["EXPERIMENTS", "experiment_ids", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "SPECS",
+    "ExperimentSpec",
+    "experiment_ids",
+    "run_experiment",
+]

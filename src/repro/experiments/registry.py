@@ -1,12 +1,22 @@
 """The experiment registry: every table/figure/study by id.
 
-The benchmark harness and the examples look experiments up here, and
-EXPERIMENTS.md's per-experiment index mirrors this table.
+Each entry is an :class:`ExperimentSpec` — id, human title, the
+paper-context line shown in generated reports, and a runner taking an
+optional :class:`~repro.campaign.config.CampaignConfig` (the unified
+way to re-seed an experiment; ``None`` keeps the experiment's
+published defaults).  The CLI, the benchmark harness, the examples,
+and EXPERIMENTS.md generation all read from this one table — the
+paper-context strings live nowhere else.
+
+``EXPERIMENTS`` / ``run_experiment`` / ``experiment_ids`` keep their
+historical shapes as thin views over the specs, so pre-spec callers
+keep working unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..core.report import ExperimentResult
 from . import (
@@ -26,46 +36,235 @@ from . import (
     table1,
 )
 
-__all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cost
+    from ..campaign.config import CampaignConfig
 
-#: Experiment id → zero-argument runner returning ExperimentResult.
+__all__ = [
+    "ExperimentSpec",
+    "SPECS",
+    "EXPERIMENTS",
+    "run_experiment",
+    "experiment_ids",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment."""
+
+    id: str
+    title: str
+    paper_context: str
+    runner: Callable[[Optional["CampaignConfig"]], ExperimentResult]
+
+    def run(
+        self, config: Optional["CampaignConfig"] = None
+    ) -> ExperimentResult:
+        """Run the experiment (``config`` overrides the default seed)."""
+        return self.runner(config)
+
+
+def _seeded(fn: Callable[..., ExperimentResult], default_seed: int):
+    """Adapt a ``run(seed=...)`` runner to the spec signature: the
+    config's seed wins when a config is given."""
+
+    def runner(config: Optional["CampaignConfig"] = None) -> ExperimentResult:
+        return fn(seed=default_seed if config is None else config.seed)
+
+    return runner
+
+
+def _unseeded(fn: Callable[[], ExperimentResult]):
+    """Adapt a zero-argument runner (ignores any config)."""
+
+    def runner(config: Optional["CampaignConfig"] = None) -> ExperimentResult:
+        return fn()
+
+    return runner
+
+
+_SPEC_LIST = [
+    ExperimentSpec(
+        "table1",
+        "Announcement/withdrawal asymmetry per ISP",
+        "Most ISPs withdraw >>10x what they announce; ISP-I: 259 "
+        "announced / 2,479,023 withdrawn / 14,112 unique prefixes.",
+        _seeded(table1.run, 7),
+    ),
+    ExperimentSpec(
+        "figure1",
+        "The five instrumented exchange points",
+        "Five U.S. exchange points; Mae-East largest (60+ providers, "
+        "route servers peer with >90%).",
+        _unseeded(figure1.run),
+    ),
+    ExperimentSpec(
+        "figure2",
+        "Monthly update mix by taxonomy category",
+        "AADup and WADup consistently dominate the non-WWDup "
+        "update mix, April-September.",
+        _seeded(figure2.run, 3),
+    ),
+    ExperimentSpec(
+        "figure3",
+        "Instability time series with diurnal structure",
+        "Diurnal + weekend structure; late-May upgrade lines; 10am "
+        "maintenance line; threshold 345->770 per 10-min bin.",
+        _seeded(figure3.run, 3),
+    ),
+    ExperimentSpec(
+        "figure4",
+        "One week of updates, hour by hour",
+        "Bell-shaped weekday curves, quiet weekends, a localized "
+        "Saturday spike (Aug 3-9, 1996).",
+        _seeded(figure4.run, 3),
+    ),
+    ExperimentSpec(
+        "figure5",
+        "Spectral analysis: 24-hour and 7-day lines",
+        "FFT and MEM spectra agree on significant frequencies at "
+        "24 hours and 7 days; SSA's top five lines confirm.",
+        _seeded(figure5.run, 3),
+    ),
+    ExperimentSpec(
+        "figure6",
+        "Update share vs routing-table share per AS",
+        "Update share uncorrelated with routing-table share; no "
+        "consistent dominator AS in any category.",
+        _seeded(figure6.run, 3),
+    ),
+    ExperimentSpec(
+        "figure7",
+        "Instability concentration across Prefix+AS pairs",
+        "80-100% of daily instability from Prefix+AS pairs seen "
+        "<50 times; WADiff plateaus fastest; Aug-11 dominator day.",
+        _seeded(figure7.run, 4),
+    ),
+    ExperimentSpec(
+        "figure8",
+        "Inter-arrival histograms: the 30s/1m timer lines",
+        "30-second and 1-minute bins hold ~half the inter-arrival "
+        "mass in every category.",
+        _seeded(figure8.run, 4),
+    ),
+    ExperimentSpec(
+        "figure9",
+        "Daily fraction of routes affected",
+        "3-10% of routes see a WADiff per day, 5-20% an AADiff; "
+        "35-100% (median 50%) see some update; >80% stable.",
+        _seeded(figure9.run, 3),
+    ),
+    ExperimentSpec(
+        "figure10",
+        "Multi-homed prefix growth",
+        "Multi-homed prefixes grow ~linearly April-December; "
+        ">25% of prefixes multi-homed; late-May spike; data gap.",
+        _seeded(figure10.run, 3),
+    ),
+    ExperimentSpec(
+        "pathology",
+        "Pathological update volumes and the stateless fix",
+        "3-6M updates/day vs 42k prefixes; 0.5-6M WWDups/day; "
+        "~99% pathological; stateless fix: 2M -> 1905 "
+        "withdrawals; 300 updates/s crashes a router.",
+        _seeded(pathology.run, 3),
+    ),
+    ExperimentSpec(
+        "crossexchange",
+        "Cross-exchange consistency of the category mix",
+        "Results at one exchange are representative of "
+        "the others - same category mix, different "
+        "volumes (section 5).",
+        _seeded(crossexchange.run, 3),
+    ),
+    ExperimentSpec(
+        "ablation-damping",
+        "Route-flap damping ablation",
+        "Damping suppresses flap updates but delays "
+        "legitimate re-announcements (section 3).",
+        _seeded(ablations.run_damping_study, 5),
+    ),
+    ExperimentSpec(
+        "ablation-aggregation",
+        "CIDR aggregation ablation",
+        "Aggregation hides customer instability "
+        "inside supernets (sections 3, 4.1).",
+        _seeded(ablations.run_aggregation_study, 6),
+    ),
+    ExperimentSpec(
+        "ablation-routeserver",
+        "Route-server vs full-mesh ablation",
+        "Route servers reduce O(N^2) bilateral "
+        "sessions to O(N) (section 3).",
+        _seeded(ablations.run_route_server_study, 7),
+    ),
+    ExperimentSpec(
+        "ablation-sync",
+        "Timer self-synchronization ablation",
+        "Unjittered periodic timers self-synchronize "
+        "(Floyd-Jacobson; section 4.2).",
+        _unseeded(ablations.run_synchronization_study),
+    ),
+    ExperimentSpec(
+        "ablation-storm",
+        "Flap-storm containment ablation",
+        "Keepalive prioritization contains route-flap "
+        "storms (section 3).",
+        _seeded(ablations.run_storm_study, 1),
+    ),
+    ExperimentSpec(
+        "ablation-cache",
+        "Route-cache churn ablation",
+        "Instability churns route caches, causing misses "
+        "and packet loss; full-table forwarding hardware "
+        "is churn-immune (section 3).",
+        _seeded(ablations.run_cache_study, 8),
+    ),
+    ExperimentSpec(
+        "ablation-convergence",
+        "MRAI / convergence-delay ablation",
+        "Instability delays network convergence; "
+        "the MRAI setting trades update volume "
+        "against settle time (sections 1, 6).",
+        _seeded(ablations.run_convergence_study, 9),
+    ),
+    ExperimentSpec(
+        "ablation-filter",
+        "Long-prefix filtering ablation",
+        "Filtering long prefixes trades away multi-homed\n"
+        "reachability for stability (section 3).",
+        _seeded(ablations.run_filter_study, 10),
+    ),
+]
+
+#: Experiment id → spec, paper order first.
+SPECS: Dict[str, ExperimentSpec] = {spec.id: spec for spec in _SPEC_LIST}
+
+#: Back-compat view: experiment id → zero-argument runner returning
+#: ExperimentResult (the registry's original shape).
 EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
-    "table1": table1.run,
-    "figure1": figure1.run,
-    "figure2": figure2.run,
-    "figure3": figure3.run,
-    "figure4": figure4.run,
-    "figure5": figure5.run,
-    "figure6": figure6.run,
-    "figure7": figure7.run,
-    "figure8": figure8.run,
-    "figure9": figure9.run,
-    "figure10": figure10.run,
-    "pathology": pathology.run,
-    "crossexchange": crossexchange.run,
-    "ablation-damping": ablations.run_damping_study,
-    "ablation-aggregation": ablations.run_aggregation_study,
-    "ablation-routeserver": ablations.run_route_server_study,
-    "ablation-sync": ablations.run_synchronization_study,
-    "ablation-storm": ablations.run_storm_study,
-    "ablation-cache": ablations.run_cache_study,
-    "ablation-convergence": ablations.run_convergence_study,
-    "ablation-filter": ablations.run_filter_study,
+    spec.id: spec.run for spec in _SPEC_LIST
 }
 
 
 def experiment_ids() -> List[str]:
     """All registered experiment ids, paper order first."""
-    return list(EXPERIMENTS)
+    return list(SPECS)
 
 
-def run_experiment(experiment_id: str) -> ExperimentResult:
-    """Run one experiment by id; raises KeyError for unknown ids."""
+def run_experiment(
+    experiment_id: str, config: Optional["CampaignConfig"] = None
+) -> ExperimentResult:
+    """Run one experiment by id; raises KeyError for unknown ids.
+
+    ``config`` (optional) re-parameterizes the run — its seed replaces
+    the experiment's default.
+    """
     try:
-        runner = EXPERIMENTS[experiment_id]
+        spec = SPECS[experiment_id]
     except KeyError:
-        known = ", ".join(EXPERIMENTS)
+        known = ", ".join(SPECS)
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {known}"
         ) from None
-    return runner()
+    return spec.run(config)

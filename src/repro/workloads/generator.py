@@ -62,6 +62,7 @@ __all__ = [
     "GeneratorTargets",
     "DayPlan",
     "TraceGenerator",
+    "campaign_generator",
 ]
 
 Pair = Tuple[Prefix, int]  # (prefix, peer ASN)
@@ -809,3 +810,26 @@ class TraceGenerator:
     def reset_state(self) -> None:
         """Forget per-pair state (fresh campaign)."""
         self._states.clear()
+
+
+def campaign_generator(
+    n_peers: int,
+    total_prefixes: int,
+    population_seed: int,
+    generator_seed: Optional[int] = None,
+) -> TraceGenerator:
+    """A generator for one campaign shard.
+
+    The peer population is synthesized from ``population_seed`` alone,
+    so every shard (and every exchange) of a campaign sees the same
+    providers and table shares; ``generator_seed`` (default: the
+    population seed) drives the day plans and record draws, which is
+    how per-exchange streams differ over one shared population.  Two
+    calls with equal arguments build generators that produce identical
+    streams — the determinism the sharded campaign runner rests on.
+    """
+    population = PeerPopulation.synthesize(
+        n_peers=n_peers, total_prefixes=total_prefixes, seed=population_seed
+    )
+    seed = population_seed if generator_seed is None else generator_seed
+    return TraceGenerator(population=population, seed=seed)

@@ -1,0 +1,321 @@
+"""Tests for the campaign layer: config, merge protocol, sharded
+determinism, and manifest-based resume.
+
+The determinism contract is the load-bearing one: an N-shard run on a
+process pool must be bit-identical to the single-process run of the
+same config.  That only holds because every merge below is associative
+with an explicit identity — so those properties get their own tests,
+over randomized shard splits and fold orders.
+"""
+
+import json
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis.interarrival import FIGURE8_BINS, histogram_counts
+from repro.analysis.timeseries import BinnedSeries
+from repro.campaign import (
+    CampaignConfig,
+    CampaignLayout,
+    ConfigMismatch,
+    PartialResult,
+    merge_partials,
+    run_campaign,
+    run_shard,
+)
+from repro.core.instability import CategoryCounts
+from repro.core.taxonomy import UpdateCategory
+
+# Small population: ~13k records/day keeps each test run sub-second.
+FAST = dict(n_peers=8, total_prefixes=240)
+
+
+def fast_config(**overrides) -> CampaignConfig:
+    params = dict(days=3, seed=5, shards=3, **FAST)
+    params.update(overrides)
+    return CampaignConfig(**params)
+
+
+def shard_partials(config: CampaignConfig):
+    """Each planned shard's PartialResult, computed inline."""
+    return [run_shard(config, spec)[0] for spec in config.shard_plan()]
+
+
+class TestCampaignConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(days=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(days=3, shards=4)  # more shards than days
+        with pytest.raises(ValueError):
+            CampaignConfig(shards=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(bin_width=7.0)  # does not divide a day
+        with pytest.raises(KeyError):
+            CampaignConfig(exchanges=("Mae-Nowhere",))
+        with pytest.raises(KeyError):
+            CampaignConfig(categories=("AADIFF", "NOT_A_CATEGORY"))
+
+    def test_day_ranges_partition_the_campaign(self):
+        for days in (1, 3, 7, 14, 30):
+            for shards in {1, min(2, days), min(3, days), min(5, days)}:
+                ranges = CampaignConfig(
+                    days=days, shards=shards
+                ).day_ranges()
+                assert ranges[0][0] == 0
+                assert ranges[-1][1] == days
+                for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+                    assert hi == lo  # contiguous
+                sizes = [hi - lo for lo, hi in ranges]
+                assert max(sizes) - min(sizes) <= 1  # near-equal
+
+    def test_shard_plan_is_exchange_major_and_contiguous(self):
+        config = CampaignConfig(
+            days=4, shards=2, exchanges=("Mae-East", "AADS")
+        )
+        plan = config.shard_plan()
+        assert [s.index for s in plan] == [0, 1, 2, 3]
+        assert [s.exchange for s in plan] == [
+            "Mae-East", "Mae-East", "AADS", "AADS"
+        ]
+        # Distinct exchanges get distinct generator seeds; the first
+        # exchange keeps the config's own seed.
+        assert plan[0].generator_seed == config.seed
+        assert plan[2].generator_seed != config.seed
+
+    def test_payload_round_trip_and_fingerprint(self):
+        config = fast_config(categories=("AADIFF", "WADUP"))
+        again = CampaignConfig.from_payload(config.to_payload())
+        assert again == config
+        assert again.fingerprint() == config.fingerprint()
+        # out is not part of the workload identity.
+        moved = CampaignConfig.from_payload(
+            config.to_payload(), out="/tmp/elsewhere"
+        )
+        assert moved.fingerprint() == config.fingerprint()
+        assert fast_config(seed=6).fingerprint() != config.fingerprint()
+
+    def test_category_names_normalized(self):
+        config = fast_config(categories=("aadiff", "WaDup"))
+        assert config.categories == ("AADIFF", "WADUP")
+        assert config.category_set() == (
+            UpdateCategory.AADIFF, UpdateCategory.WADUP
+        )
+
+
+class TestMergeProtocol:
+    """Identity + associativity for every mergeable aggregate."""
+
+    def test_category_counts_identity_and_sum(self):
+        counts = CategoryCounts.from_dict({"AADUP": 3, "WWDUP": 9}, 2)
+        assert (0 + counts).as_dict() == counts.as_dict()
+        total = sum([counts, counts])  # int 0 start value
+        assert total.counts[UpdateCategory.AADUP] == 6
+        assert total.policy_changes == 4
+
+    def test_category_counts_associative(self):
+        rng = random.Random(1)
+        names = [c.name for c in UpdateCategory]
+        parts = [
+            CategoryCounts.from_dict(
+                {name: rng.randrange(5) for name in names},
+                rng.randrange(3),
+            )
+            for _ in range(6)
+        ]
+        left = sum(parts)
+        right = parts[0] + (parts[1] + (parts[2] + sum(parts[3:])))
+        assert left.as_dict() == right.as_dict()
+        assert left.policy_changes == right.policy_changes
+
+    def test_binned_series_identity(self):
+        series = BinnedSeries(
+            offset=10, counts=np.array([1, 2, 3], dtype=np.int64)
+        )
+        for merged in (BinnedSeries.empty() + series,
+                       series + BinnedSeries.empty(),
+                       0 + series):
+            assert merged == series
+
+    def test_binned_series_merges_disjoint_and_overlapping(self):
+        a = BinnedSeries(offset=0, counts=np.array([1, 1], dtype=np.int64))
+        b = BinnedSeries(offset=3, counts=np.array([5], dtype=np.int64))
+        merged = a + b
+        assert merged.offset == 0
+        assert merged.counts.tolist() == [1, 1, 0, 5]
+        overlap = merged + BinnedSeries(
+            offset=1, counts=np.array([10, 10], dtype=np.int64)
+        )
+        assert overlap.counts.tolist() == [1, 11, 10, 5]
+
+    def test_binned_series_width_mismatch_raises(self):
+        a = BinnedSeries(offset=0, counts=np.ones(2, dtype=np.int64))
+        b = BinnedSeries(
+            offset=0, counts=np.ones(2, dtype=np.int64), width=300.0
+        )
+        with pytest.raises(ValueError):
+            a + b
+
+    def test_histogram_counts_merge_is_vector_addition(self):
+        gaps = np.array([31.0, 31.0, 400.0])
+        whole = histogram_counts(np.concatenate([gaps, gaps]))
+        assert (whole == histogram_counts(gaps) * 2).all()
+        assert whole.sum() == 6
+        assert len(whole) == len(FIGURE8_BINS)
+
+    def test_partial_result_identity(self):
+        partial = shard_partials(fast_config(days=1, shards=1))[0]
+        for merged in (PartialResult.empty() + partial,
+                       partial + PartialResult.empty(),
+                       0 + partial):
+            assert merged.digest() == partial.digest()
+
+    def test_partial_result_associative_over_fold_trees(self):
+        """Real shard partials merged in randomized tree shapes all
+        produce the same digest."""
+        parts = shard_partials(fast_config(days=4, shards=4))
+        reference = merge_partials(parts).digest()
+        rng = random.Random(7)
+        for _ in range(5):
+            work = list(parts)
+            while len(work) > 1:
+                i = rng.randrange(len(work) - 1)
+                work[i:i + 2] = [work[i] + work[i + 1]]
+            assert work[0].digest() == reference
+
+    def test_payload_round_trip(self):
+        partial = merge_partials(shard_partials(fast_config()))
+        again = PartialResult.from_payload(
+            json.loads(json.dumps(partial.to_payload()))
+        )
+        assert again.digest() == partial.digest()
+        assert again.records == partial.records
+        assert again.counts.as_dict() == partial.counts.as_dict()
+
+
+class TestShardedDeterminism:
+    """The tentpole invariant: worker count never changes the result."""
+
+    def test_randomized_shard_groupings_agree(self):
+        """For a fixed shard plan, any random partition of the shards
+        into groups — merged group-wise, then across groups — matches
+        the straight shard-index-order fold.  (The shard *count* itself
+        is part of the workload identity: a shard boundary is a defined
+        generator/classifier restart, recorded in the fingerprint.)"""
+        parts = shard_partials(fast_config(days=5, shards=5))
+        reference = merge_partials(parts).digest()
+        rng = random.Random(13)
+        for _ in range(5):
+            shuffled = list(parts)
+            rng.shuffle(shuffled)
+            groups = []
+            while shuffled:
+                take = rng.randrange(1, len(shuffled) + 1)
+                groups.append(merge_partials(shuffled[:take]))
+                shuffled = shuffled[take:]
+            assert merge_partials(groups).digest() == reference
+
+    def test_pool_matches_single_process(self):
+        """>= 3 shards on a 3-worker pool, bit-identical to inline."""
+        config = fast_config(days=3, shards=3)
+        inline = run_campaign(config, workers=1)
+        pooled = run_campaign(config, workers=3)
+        assert inline.complete and pooled.complete
+        assert pooled.partial.digest() == inline.partial.digest()
+        assert pooled.partial.to_payload() == inline.partial.to_payload()
+        assert (pooled.bin_counts() == inline.bin_counts()).all()
+
+    def test_multi_exchange_campaign_merges_per_exchange(self):
+        config = fast_config(
+            days=2, shards=2, exchanges=("Mae-East", "AADS")
+        )
+        result = run_campaign(config)
+        assert set(result.partial.by_exchange) == {"Mae-East", "AADS"}
+        by_exchange_total = sum(
+            counts.total for counts in result.partial.by_exchange.values()
+        )
+        assert by_exchange_total == result.counts.total
+
+
+class TestResume:
+    def test_killed_run_resumes_without_regenerating(self, tmp_path):
+        config = fast_config(out=str(tmp_path / "camp"))
+        # A "killed" run: two of three shards complete.
+        partial_run = run_campaign(config, stop_after=2)
+        assert not partial_run.complete
+        assert partial_run.shards_run == 2
+        manifests = sorted(
+            p.name for p in (tmp_path / "camp" / "manifest").iterdir()
+        )
+        assert manifests == ["shard-0000.json", "shard-0001.json"]
+
+        resumed = run_campaign(config, resume=True)
+        assert resumed.complete
+        assert resumed.shards_loaded == 2  # finished days not regenerated
+        assert resumed.shards_run == 1
+
+        fresh = run_campaign(fast_config())  # in-memory reference
+        assert resumed.partial.digest() == fresh.partial.digest()
+
+    def test_resume_rejects_mismatched_config(self, tmp_path):
+        out = str(tmp_path / "camp")
+        run_campaign(fast_config(out=out), stop_after=1)
+        with pytest.raises(ConfigMismatch):
+            run_campaign(fast_config(seed=99, out=out), resume=True)
+
+    def test_corrupt_result_is_recomputed(self, tmp_path):
+        config = fast_config(out=str(tmp_path / "camp"))
+        run_campaign(config)
+        layout = CampaignLayout(config.out)
+        spec = config.shard_plan()[1]
+        layout.result_path(spec).write_text('{"records": 0}\n')
+        resumed = run_campaign(config, resume=True)
+        assert resumed.complete
+        assert resumed.shards_loaded == 2  # the intact shards
+        assert resumed.shards_run == 1  # the corrupted one, re-run
+        fresh = run_campaign(fast_config())
+        assert resumed.partial.digest() == fresh.partial.digest()
+
+    def test_manifest_records_archive_digest(self, tmp_path):
+        config = fast_config(days=1, shards=1, out=str(tmp_path / "camp"))
+        run_campaign(config)
+        layout = CampaignLayout(config.out)
+        spec = config.shard_plan()[0]
+        manifest = json.loads(layout.manifest_path(spec).read_text())
+        assert manifest["schema"] == 1
+        assert manifest["records"] > 0
+        assert manifest["archive"] == "shards/shard-0000.mrt"
+        assert len(manifest["archive_sha256"]) == 64
+        assert len(manifest["result_sha256"]) == 64
+        # The archived bytes hash to what the manifest promises.
+        from repro.collector.log import FileLog
+
+        archive = FileLog(layout.archive_path(spec))
+        assert archive.sha256() == manifest["archive_sha256"]
+
+    def test_archived_run_matches_in_memory_run(self, tmp_path):
+        """The archive round trip (write → decode) is lossless."""
+        config = fast_config(days=2, shards=2)
+        on_disk = run_campaign(
+            fast_config(days=2, shards=2, out=str(tmp_path / "camp"))
+        )
+        in_memory = run_campaign(config)
+        assert on_disk.partial.digest() == in_memory.partial.digest()
+
+
+class TestCampaignResult:
+    def test_headline_analyses(self):
+        config = fast_config()
+        result = run_campaign(config)
+        assert result.records == result.counts.total
+        bins = result.bin_counts()
+        assert len(bins) == config.total_bins
+        assert bins.sum() == result.records
+        daily = result.daily_totals()
+        assert len(daily) == config.days
+        assert daily.sum() == result.records
+        assert 0.0 <= result.timer_mass <= 1.0
+        fractions = result.affected_fractions()
+        assert ((fractions > 0) & (fractions <= 1)).all()

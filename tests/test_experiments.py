@@ -8,7 +8,13 @@ that the machinery (runners, result rendering, registry) behaves.
 import pytest
 
 from repro.core.report import ExperimentResult
-from repro.experiments import EXPERIMENTS, experiment_ids, run_experiment
+from repro.experiments import (
+    EXPERIMENTS,
+    SPECS,
+    ExperimentSpec,
+    experiment_ids,
+    run_experiment,
+)
 from repro.experiments import figure1, figure4, figure10, table1
 from repro.experiments.ablations import (
     run_damping_study,
@@ -39,6 +45,38 @@ class TestRegistry:
         result = run_experiment("figure1")
         assert isinstance(result, ExperimentResult)
         assert result.experiment_id == "figure1"
+
+
+class TestExperimentSpecs:
+    def test_every_id_has_a_complete_spec(self):
+        assert set(SPECS) == set(EXPERIMENTS)
+        for experiment_id, spec in SPECS.items():
+            assert isinstance(spec, ExperimentSpec)
+            assert spec.id == experiment_id
+            assert spec.title.strip()
+            # The paper-context strings live only here (the CLI and
+            # EXPERIMENTS.md both read them from the spec).
+            assert spec.paper_context.strip()
+            assert callable(spec.runner)
+
+    def test_experiments_view_is_thin_wrapper(self):
+        """EXPERIMENTS keeps its historical zero-arg-callable shape."""
+        result = EXPERIMENTS["figure1"]()
+        assert isinstance(result, ExperimentResult)
+
+    def test_config_reseeds_a_seeded_experiment(self):
+        from repro.campaign import CampaignConfig
+
+        default = run_experiment("figure4")
+        reseeded = run_experiment("figure4", CampaignConfig(seed=1234))
+        assert default.measurements != reseeded.measurements
+        # And the same config reproduces itself.
+        again = run_experiment("figure4", CampaignConfig(seed=1234))
+        assert again.measurements == reseeded.measurements
+
+    def test_spec_run_method_matches_registry_dispatch(self):
+        spec = SPECS["figure1"]
+        assert spec.run().experiment_id == "figure1"
 
 
 class TestFastExperiments:

@@ -28,8 +28,13 @@ from pathlib import Path
 
 from repro.analysis.timeseries import bin_records
 from repro.core.classifier import StreamClassifier
-from repro.core.columns import ColumnClassifier, RecordColumns
+from repro.core.columns import (
+    CATEGORY_OF_CODE,
+    ColumnClassifier,
+    RecordColumns,
+)
 from repro.core.instability import CategoryCounts
+from repro.verify.reference import reference_classify
 from repro.workloads.generator import TraceGenerator
 
 
@@ -47,6 +52,50 @@ def materialize(target_records: int, seed: int):
     columns = RecordColumns.concat(batches)
     assert len(columns) == len(records)
     return records, columns
+
+
+def oracle_check(records, sample_size):
+    """Check both timed tiers against the naive reference oracle
+    (repro.verify.reference) on a prefix of the bench stream, so the
+    benchmark can never time wrong answers.
+
+    A stream prefix is closed under classification (per-route state
+    depends only on the past), so checking the first ``sample_size``
+    records is exact, not approximate.
+    """
+    sample = list(records[:sample_size])
+    expected = reference_classify(sample)
+    classifier = StreamClassifier()
+    streaming = [
+        (update.category.name, update.policy_change)
+        for update in (classifier.feed(record) for record in sample)
+    ]
+    if streaming != expected:
+        index = next(
+            i for i, (a, b) in enumerate(zip(expected, streaming)) if a != b
+        )
+        raise SystemExit(
+            f"streaming tier disagrees with the reference oracle at "
+            f"record {index}: expected {expected[index]}, "
+            f"got {streaming[index]}"
+        )
+    codes, policy = ColumnClassifier().classify(
+        RecordColumns.from_records(sample)
+    )
+    columnar = [
+        (CATEGORY_OF_CODE[int(code)].name, bool(flag))
+        for code, flag in zip(codes, policy)
+    ]
+    if columnar != expected:
+        index = next(
+            i for i, (a, b) in enumerate(zip(expected, columnar)) if a != b
+        )
+        raise SystemExit(
+            f"columnar tier disagrees with the reference oracle at "
+            f"record {index}: expected {expected[index]}, "
+            f"got {columnar[index]}"
+        )
+    return len(sample)
 
 
 def bench_streaming(records, repeats):
@@ -173,6 +222,11 @@ def main() -> None:
         help="runs per tier; the best (minimum) time is reported",
     )
     parser.add_argument(
+        "--oracle-sample", type=int, default=50_000,
+        help="records checked against the reference oracle before "
+             "timing (0 disables)",
+    )
+    parser.add_argument(
         "--no-bar", action="store_true",
         help="campaign mode: record numbers without enforcing the "
              "speedup bar (CI smoke runs)",
@@ -193,6 +247,12 @@ def main() -> None:
     n = len(records)
     print(f"  {n:,} records across {int(columns.time.max() // 86400) + 1} "
           f"days, {len(columns.attrs)} interned attribute bundles")
+
+    oracle_checked = 0
+    if args.oracle_sample > 0:
+        oracle_checked = oracle_check(records, args.oracle_sample)
+        print(f"Oracle check OK: both tiers match the reference oracle "
+              f"over the first {oracle_checked:,} records")
 
     print(f"Streaming classify+bin (best of {args.repeats})...")
     t_stream, counts_stream, bins_stream = bench_streaming(
@@ -223,6 +283,7 @@ def main() -> None:
         "repeats": args.repeats,
         "timing": "best (minimum) of repeats per tier",
         "outputs_identical": True,
+        "oracle_checked_records": oracle_checked,
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"Wrote {args.output}")

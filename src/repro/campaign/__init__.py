@@ -11,14 +11,16 @@ count, shard completion order, or kill/resume cycles.
 from .config import CampaignConfig, ShardSpec
 from .manifest import CampaignLayout, ConfigMismatch
 from .results import CampaignResult, PartialResult, merge_partials
-from .runner import run_campaign, run_shard
+from .runner import CampaignHooks, KillRun, run_campaign, run_shard
 
 __all__ = [
     "CampaignConfig",
     "ShardSpec",
     "CampaignLayout",
+    "CampaignHooks",
     "ConfigMismatch",
     "CampaignResult",
+    "KillRun",
     "PartialResult",
     "merge_partials",
     "run_campaign",

@@ -20,10 +20,11 @@ never regenerated.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Callable, Dict, Optional, Union
 
 from .config import CampaignConfig, ShardSpec, canonical_json, sha256_text
 from .results import PartialResult
@@ -102,11 +103,19 @@ class CampaignLayout:
         partial_payload: dict,
         records: int,
         archive_sha256: Optional[str],
+        before_manifest: Optional[Callable[[], None]] = None,
     ) -> None:
         """Persist one finished shard; the manifest entry goes last so
-        its presence implies the result is durable."""
+        its presence implies the result is durable.
+
+        ``before_manifest`` (the chaos layer's fault point) runs after
+        the result is on disk but before the manifest exists — a kill
+        there must leave a shard that resume treats as incomplete.
+        """
         result_text = canonical_json(partial_payload)
         self.result_path(spec).write_text(result_text + "\n")
+        if before_manifest is not None:
+            before_manifest()
         manifest = {
             "schema": SCHEMA_VERSION,
             **spec.to_payload(),
@@ -126,22 +135,39 @@ class CampaignLayout:
 
     def load_shard(self, spec: ShardSpec) -> Optional[PartialResult]:
         """The shard's persisted partial, or None when it is missing,
-        stale (spec mismatch), or fails digest verification."""
+        stale (spec mismatch), or fails digest verification — of the
+        result payload and, when one was recorded, of the archive
+        (a truncated or corrupted archive invalidates the shard, so
+        resume recomputes it instead of trusting a damaged file)."""
         manifest_path = self.manifest_path(spec)
         result_path = self.result_path(spec)
         if not (manifest_path.exists() and result_path.exists()):
             return None
         try:
             manifest = json.loads(manifest_path.read_text())
-        except json.JSONDecodeError:
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            # Unreadable or mangled manifest (e.g. a crash or disk
+            # corruption mid-write): the shard is simply not done.
+            return None
+        if not isinstance(manifest, dict):
             return None
         if manifest.get("schema") != SCHEMA_VERSION:
             return None
         if {k: manifest.get(k) for k in spec.to_payload()} != spec.to_payload():
             return None
-        result_text = result_path.read_text().rstrip("\n")
+        try:
+            result_text = result_path.read_text().rstrip("\n")
+        except (OSError, UnicodeDecodeError):
+            return None
         if sha256_text(result_text) != manifest.get("result_sha256"):
             return None
+        if manifest.get("archive_sha256") is not None:
+            archive = self.archive_path(spec)
+            if not archive.exists():
+                return None
+            digest = hashlib.sha256(archive.read_bytes()).hexdigest()
+            if digest != manifest["archive_sha256"]:
+                return None
         return PartialResult.from_payload(json.loads(result_text))
 
     def completed(self, plan) -> Dict[int, PartialResult]:

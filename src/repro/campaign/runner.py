@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import multiprocessing
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,13 +41,65 @@ from .config import CampaignConfig, ShardSpec
 from .manifest import CampaignLayout
 from .results import TOTAL, CampaignResult, PartialResult
 
-__all__ = ["run_campaign", "run_shard", "ShardOutcome"]
+__all__ = [
+    "run_campaign",
+    "run_shard",
+    "ShardOutcome",
+    "CampaignHooks",
+    "KillRun",
+]
 
 #: Progress callback signature: (spec, "run" | "loaded", records).
 ProgressFn = Callable[[ShardSpec, str, int], None]
 
 ShardOutcome = Tuple[int, dict, int, Optional[str]]
 # (shard index, partial payload, record count, archive sha256)
+
+
+class KillRun(RuntimeError):
+    """Raised by a fault hook to abort a campaign mid-run.
+
+    It propagates out of :func:`run_campaign`, leaving whatever the run
+    had written on disk — exactly the state a SIGKILLed process leaves
+    behind — so the chaos layer can simulate kills at precise points
+    (including between a shard's result write and its manifest write)
+    and then exercise ``resume``.
+    """
+
+
+@dataclass
+class CampaignHooks:
+    """Injectable observation/fault points for :func:`run_campaign`.
+
+    Every hook is optional and is invoked in the parent process (the
+    pool path runs shards in workers but writes results in the
+    parent, so the write-side hooks fire there too):
+
+    - ``order_pending(specs)`` → reordered specs: permutes the
+      still-to-run shard list (chaos uses it to prove completion
+      order cannot affect the merged result);
+    - ``on_shard_start(spec)``: before a shard is (re)computed —
+      honored exactly only on the inline (``workers <= 1``) path;
+    - ``before_manifest(spec, layout)``: between the shard's result
+      write and its manifest write — the crash window the
+      manifest-last protocol exists for;
+    - ``on_shard_written(spec, layout)``: after the shard is durably
+      complete (result + manifest on disk).
+
+    Hooks exist so the chaos layer injects faults through a supported
+    seam instead of monkeypatching internals.
+    """
+
+    order_pending: Optional[
+        Callable[[List[ShardSpec]], Sequence[ShardSpec]]
+    ] = None
+    on_shard_start: Optional[Callable[[ShardSpec], None]] = None
+    before_manifest: Optional[
+        Callable[[ShardSpec, CampaignLayout], None]
+    ] = None
+    on_shard_written: Optional[
+        Callable[[ShardSpec, CampaignLayout], None]
+    ] = None
 
 
 def _pairs_per_day(columns: RecordColumns) -> Dict[int, int]:
@@ -188,6 +241,7 @@ def run_campaign(
     resume: bool = False,
     stop_after: Optional[int] = None,
     progress: Optional[ProgressFn] = None,
+    hooks: Optional[CampaignHooks] = None,
 ) -> CampaignResult:
     """Run (or resume) a campaign; see module docstring.
 
@@ -198,6 +252,9 @@ def run_campaign(
     shards run before returning a partial result — the programmatic
     stand-in for a killed run (the manifest tests and checkpoint
     demos use it); it is honored exactly only with ``workers <= 1``.
+    ``hooks`` injects observation/fault points (see
+    :class:`CampaignHooks`); a hook raising :class:`KillRun` aborts
+    the run with the on-disk state of a killed process.
     """
     started = time.perf_counter()
     plan = config.shard_plan()
@@ -219,6 +276,10 @@ def run_campaign(
                     progress(spec, "loaded", partials[spec.index].records)
 
     pending = [spec for spec in plan if spec.index not in partials]
+    if hooks is not None and hooks.order_pending is not None:
+        reordered = list(hooks.order_pending(list(pending)))
+        assert {s.index for s in reordered} <= {s.index for s in pending}
+        pending = reordered
     if stop_after is not None:
         pending = pending[:max(0, stop_after)]
 
@@ -228,9 +289,16 @@ def run_campaign(
         index, payload, records, archive_sha256 = outcome
         partials[index] = PartialResult.from_payload(payload)
         if layout is not None:
+            before_manifest = None
+            if hooks is not None and hooks.before_manifest is not None:
+                spec = by_index[index]
+                before_manifest = lambda: hooks.before_manifest(spec, layout)
             layout.write_shard(
-                by_index[index], payload, records, archive_sha256
+                by_index[index], payload, records, archive_sha256,
+                before_manifest=before_manifest,
             )
+            if hooks is not None and hooks.on_shard_written is not None:
+                hooks.on_shard_written(by_index[index], layout)
         if progress is not None:
             progress(by_index[index], "run", records)
 
@@ -241,7 +309,9 @@ def run_campaign(
             for spec in pending
         ]
         if workers <= 1 or len(pending) == 1:
-            for task in tasks:
+            for task, spec in zip(tasks, pending):
+                if hooks is not None and hooks.on_shard_start is not None:
+                    hooks.on_shard_start(spec)
                 finish(_shard_task(task))
         else:
             context = _pool_context()

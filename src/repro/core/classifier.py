@@ -17,6 +17,7 @@ repeat the forwarding tuple but alter other attributes are flagged
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -25,7 +26,54 @@ from ..collector.record import UpdateKind, UpdateRecord
 from ..net.prefix import Prefix
 from .taxonomy import UpdateCategory
 
-__all__ = ["ClassifiedUpdate", "StreamClassifier", "classify"]
+__all__ = [
+    "ClassifiedUpdate",
+    "StreamClassifier",
+    "classify",
+    "route_state_digest",
+]
+
+
+def route_state_digest(
+    entries: Iterable[
+        Tuple[Tuple[int, int, int], bool, bool, Optional[PathAttributes]]
+    ],
+) -> str:
+    """SHA-256 over normalized per-route classifier state.
+
+    ``entries`` are ``((peer_id, network, length), reachable,
+    ever_announced, last_attributes)`` tuples; order does not matter
+    (entries are sorted by key here).  Both classifier tiers render
+    their state through this one function, so equal states — however
+    they are keyed internally — produce equal digests.  The verify
+    layer compares these digests to prove the tiers agree not just on
+    emitted labels but on the state they would carry forward.
+    """
+    digest = hashlib.sha256()
+    for key, reachable, ever_announced, attrs in sorted(
+        entries, key=lambda entry: entry[0]
+    ):
+        if attrs is None:
+            rendered = "-"
+        else:
+            rendered = repr(
+                (
+                    attrs.next_hop,
+                    tuple(attrs.as_path),
+                    int(attrs.origin),
+                    attrs.med,
+                    attrs.local_pref,
+                    tuple(sorted(attrs.communities)),
+                    attrs.atomic_aggregate,
+                    attrs.aggregator,
+                )
+            )
+        line = (
+            f"{key[0]}|{key[1]}|{key[2]}"
+            f"|{int(reachable)}|{int(ever_announced)}|{rendered}\n"
+        )
+        digest.update(line.encode("ascii"))
+    return digest.hexdigest()
 
 
 @dataclass(frozen=True, slots=True)
@@ -150,6 +198,19 @@ class StreamClassifier:
     def tracked_routes(self) -> int:
         """Number of (peer, prefix) pairs with state."""
         return len(self._states)
+
+    def state_digest(self) -> str:
+        """Digest of all per-route state (see
+        :func:`route_state_digest`); comparable across tiers."""
+        return route_state_digest(
+            (
+                (peer_id, prefix.network, prefix.length),
+                state.reachable,
+                state.ever_announced,
+                state.last_attributes,
+            )
+            for (peer_id, prefix), state in self._states.items()
+        )
 
     def reset(self) -> None:
         self._states.clear()

@@ -39,6 +39,7 @@ import numpy as np
 from ..bgp.attributes import PathAttributes
 from ..collector.record import UpdateKind, UpdateRecord
 from ..net.prefix import Prefix
+from .classifier import route_state_digest
 from .taxonomy import UpdateCategory
 
 __all__ = [
@@ -584,6 +585,21 @@ class ColumnClassifier:
     def tracked_routes(self) -> int:
         """Number of (peer, prefix) pairs with state."""
         return len(self._states)
+
+    def state_digest(self) -> str:
+        """Digest of all per-route state, rendered through the same
+        :func:`~repro.core.classifier.route_state_digest` as the
+        streaming tier — equal classifier states give equal digests
+        regardless of tier."""
+        return route_state_digest(
+            (
+                key,
+                state.reachable,
+                state.ever_announced,
+                state.last_attributes,
+            )
+            for key, state in self._states.items()
+        )
 
     def reset(self) -> None:
         self._states.clear()

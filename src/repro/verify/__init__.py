@@ -1,0 +1,78 @@
+"""The conformance layer: oracles the fast paths are held to.
+
+Every optimized tier in this repository — the columnar classifier, the
+sharded campaign runner — claims bit-identical results to the simple
+per-record semantics.  This package makes that claim checkable:
+
+- :mod:`repro.verify.reference` — a deliberately naive, dependency-free
+  re-implementation of the paper's taxonomy and aggregations, small
+  enough to audit against PAPER.md by eye.  It is the semantic ground
+  truth; it is never optimized.
+- :mod:`repro.verify.streams` — seeded fuzz-stream generators: random
+  update streams plus adversarial generators for the known hard cases
+  (cross-batch carry, duplicate timestamps, re-announce-after-withdraw,
+  attribute-interning collisions).
+- :mod:`repro.verify.differential` — the differential runner: pipes a
+  stream through StreamClassifier, ColumnClassifier, and the reference
+  oracle, asserts identical labels/counts/digests, and minimizes any
+  failing stream with delta-debugging shrink.
+- :mod:`repro.verify.golden` — the golden corpus: committed traces
+  under ``tests/golden/`` with frozen expected outputs, plus the
+  regeneration script.
+- :mod:`repro.verify.chaos` — seeded fault injection around
+  :func:`~repro.campaign.runner.run_campaign`: kill runs mid-shard,
+  corrupt archives/results/manifests, reorder completion, and assert
+  the resumed merged digest equals the unfaulted run.
+"""
+
+from .differential import (
+    DifferentialMismatch,
+    DifferentialReport,
+    run_differential,
+    shrink_stream,
+    stream_digest,
+)
+from .reference import (
+    reference_classify,
+    reference_counts,
+    reference_counts_by_peer,
+    reference_counts_by_prefix,
+    reference_bin_counts,
+    reference_interarrival_histogram,
+)
+from .streams import (
+    ADVERSARIAL_GENERATORS,
+    FuzzStream,
+    fuzz_stream,
+    adversarial_cross_batch_carry,
+    adversarial_duplicate_timestamps,
+    adversarial_interning_collisions,
+    adversarial_reannounce_after_withdraw,
+)
+from .chaos import ChaosReport, run_chaos_campaign
+from .golden import check_golden, write_golden
+
+__all__ = [
+    "DifferentialMismatch",
+    "DifferentialReport",
+    "run_differential",
+    "shrink_stream",
+    "stream_digest",
+    "reference_classify",
+    "reference_counts",
+    "reference_counts_by_peer",
+    "reference_counts_by_prefix",
+    "reference_bin_counts",
+    "reference_interarrival_histogram",
+    "ADVERSARIAL_GENERATORS",
+    "FuzzStream",
+    "fuzz_stream",
+    "adversarial_cross_batch_carry",
+    "adversarial_duplicate_timestamps",
+    "adversarial_interning_collisions",
+    "adversarial_reannounce_after_withdraw",
+    "ChaosReport",
+    "run_chaos_campaign",
+    "check_golden",
+    "write_golden",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.verify`` — golden corpus maintenance CLI."""
+
+import sys
+
+from .golden import main
+
+if __name__ == "__main__":
+    sys.exit(main())

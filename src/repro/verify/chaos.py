@@ -1,0 +1,153 @@
+"""Seeded fault injection around the campaign runner.
+
+:func:`run_chaos_campaign` takes a campaign config (with an output
+directory) and a fault seed, then repeatedly:
+
+1. resumes the campaign with :class:`~repro.campaign.CampaignHooks`
+   that shuffle shard execution order and randomly kill the run — at
+   shard start, or inside the crash window between a shard's result
+   write and its manifest write;
+2. corrupts the on-disk state a kill left behind: truncating or
+   bit-flipping shard archives and result payloads, deleting or
+   mangling manifests.
+
+After the configured rounds it performs one clean ``resume`` to
+completion and compares the merged result digest against an unfaulted
+in-memory run of the same config.  The campaign layer's claim — the
+merged result is a function of the config alone, regardless of kills,
+corruption, or completion order — holds iff the digests are
+bit-identical.
+
+Everything is driven by one ``random.Random(seed)``, so a failing
+fault schedule replays exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import List, Optional
+
+from ..campaign import CampaignConfig, CampaignHooks, KillRun, run_campaign
+
+__all__ = ["ChaosReport", "run_chaos_campaign"]
+
+
+@dataclass
+class ChaosReport:
+    """What one chaos schedule did and whether determinism survived."""
+
+    seed: int
+    rounds: int
+    kills: int
+    corruptions: int
+    faults: List[str] = field(default_factory=list)
+    expected_digest: str = ""
+    final_digest: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.final_digest) and (
+            self.final_digest == self.expected_digest
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"chaos seed={self.seed}: {self.rounds} rounds, "
+            f"{self.kills} kills, {self.corruptions} corruptions — "
+            f"{'OK' if self.ok else 'DIGEST MISMATCH'}",
+            f"expected: {self.expected_digest}",
+            f"final:    {self.final_digest}",
+        ]
+        lines.extend(f"  {fault}" for fault in self.faults)
+        return "\n".join(lines)
+
+
+def _corrupt_file(path: Path, rng: random.Random) -> str:
+    """Apply one seeded corruption to ``path``; returns a description."""
+    mode = rng.choice(("truncate", "flip", "delete", "garbage"))
+    if mode == "delete":
+        path.unlink()
+        return f"deleted {path.name}"
+    data = path.read_bytes()
+    if mode == "truncate":
+        keep = rng.randrange(0, max(1, len(data)))
+        path.write_bytes(data[:keep])
+        return f"truncated {path.name} to {keep}/{len(data)} bytes"
+    if mode == "flip" and data:
+        index = rng.randrange(len(data))
+        flipped = bytes([data[index] ^ (1 << rng.randrange(8))])
+        path.write_bytes(data[:index] + flipped + data[index + 1:])
+        return f"flipped a bit at offset {index} of {path.name}"
+    path.write_bytes(b"{not json" + bytes([rng.randrange(256)]))
+    return f"replaced {path.name} with garbage"
+
+
+def run_chaos_campaign(
+    config: CampaignConfig,
+    seed: int,
+    rounds: int = 4,
+    kill_probability: float = 0.5,
+    corrupt_probability: float = 0.7,
+) -> ChaosReport:
+    """Fault a campaign ``rounds`` times, then finish it cleanly; see
+    the module docstring.  ``config.out`` must be set (the faults are
+    to its on-disk state); the unfaulted baseline runs in memory."""
+    if config.out is None:
+        raise ValueError("chaos campaigns need config.out (faults hit disk)")
+    baseline = run_campaign(replace(config, out=None))
+    report = ChaosReport(
+        seed=seed,
+        rounds=rounds,
+        kills=0,
+        corruptions=0,
+        expected_digest=baseline.partial.digest(),
+    )
+    rng = random.Random(seed)
+
+    for round_index in range(rounds):
+        kill_note: Optional[str] = None
+
+        def maybe_kill(where: str, spec) -> None:
+            nonlocal kill_note
+            if rng.random() < kill_probability:
+                kill_note = (
+                    f"round {round_index}: killed at {where} "
+                    f"of shard {spec.index}"
+                )
+                raise KillRun(kill_note)
+
+        hooks = CampaignHooks(
+            order_pending=lambda specs: rng.sample(specs, len(specs)),
+            on_shard_start=lambda spec: maybe_kill("start", spec),
+            before_manifest=(
+                lambda spec, layout: maybe_kill("pre-manifest", spec)
+            ),
+        )
+        try:
+            run_campaign(config, workers=1, resume=True, hooks=hooks)
+            report.faults.append(
+                f"round {round_index}: ran to completion"
+            )
+        except KillRun:
+            report.kills += 1
+            report.faults.append(kill_note)
+
+        # Corrupt what the (possibly killed) run left on disk.
+        root = Path(config.out)
+        victims = sorted(
+            path
+            for subdir in ("shards", "results", "manifest")
+            for path in (root / subdir).glob("shard-*")
+        )
+        for path in victims:
+            if rng.random() < corrupt_probability:
+                report.corruptions += 1
+                report.faults.append(
+                    f"round {round_index}: {_corrupt_file(path, rng)}"
+                )
+
+    final = run_campaign(config, workers=1, resume=True)
+    report.final_digest = final.partial.digest()
+    return report

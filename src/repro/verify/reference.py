@@ -1,0 +1,241 @@
+"""The reference oracle: the paper's semantics in the plainest Python.
+
+This module re-implements the §4.1 update taxonomy, the inter-arrival
+binning of Figure 8, the per-bin time series, and the per-peer /
+per-prefix aggregations — as dict-of-lists Python with no imports from
+the rest of the library and no NumPy.  It is deliberately naive: every
+rule is one obvious ``if``, every aggregate one obvious dict, so the
+whole file can be audited against PAPER.md by eye.
+
+It is the ground truth the differential runner
+(:mod:`repro.verify.differential`) holds the optimized tiers to.  Do
+NOT optimize this module; its only job is to be visibly correct.
+
+The taxonomy, from the paper (§4.1), per (peer, prefix) route stream:
+
+- first announcement ever           → NEW_ANNOUNCE  (uncategorized)
+- announce while reachable,
+  same (NextHop, ASPATH)            → AADUP  (policy fluctuation when
+                                      any other attribute changed)
+- announce while reachable,
+  different (NextHop, ASPATH)       → AADIFF
+- announce while unreachable,
+  same (NextHop, ASPATH) as last    → WADUP
+- announce while unreachable,
+  different (NextHop, ASPATH)       → WADIFF
+- withdraw while reachable          → PLAIN_WITHDRAW (uncategorized)
+- withdraw while unreachable        → WWDUP
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "FIGURE8_EDGES",
+    "reference_classify",
+    "reference_counts",
+    "reference_counts_by_peer",
+    "reference_counts_by_prefix",
+    "reference_bin_counts",
+    "reference_interarrival_histogram",
+    "reference_digest",
+]
+
+#: Figure 8's bin edges in seconds (1s 5s 30s 1m 5m 10m 30m 1h 2h 4h
+#: 8h 24h); bin ``b`` holds gaps in ``(edge[b-1], edge[b]]``.  Spelled
+#: out here rather than imported so the oracle stays self-contained.
+FIGURE8_EDGES: Tuple[float, ...] = (
+    1.0, 5.0, 30.0, 60.0, 300.0, 600.0, 1800.0,
+    3600.0, 7200.0, 14400.0, 28800.0, 86400.0,
+)
+
+#: The paper's instability / pathological roll-up sets.
+INSTABILITY = ("WADIFF", "AADIFF", "WADUP")
+PATHOLOGICAL = ("AADUP", "WWDUP")
+
+
+def _attr_tuple(attributes) -> tuple:
+    """A path-attribute bundle as one plain comparable tuple.
+
+    Spelled out field by field so full-bundle equality (the AADup
+    policy-fluctuation test) visibly covers every attribute.
+    """
+    return (
+        attributes.next_hop,
+        tuple(attributes.as_path),
+        int(attributes.origin),
+        attributes.med,
+        attributes.local_pref,
+        tuple(sorted(attributes.communities)),
+        attributes.atomic_aggregate,
+        attributes.aggregator,
+    )
+
+
+def _forwarding_tuple(attributes) -> tuple:
+    """The (NextHop, ASPATH) half of the paper's forwarding tuple."""
+    return (attributes.next_hop, tuple(attributes.as_path))
+
+
+def reference_classify(records: Iterable) -> List[Tuple[str, bool]]:
+    """Label every record ``(category name, policy_change)``.
+
+    ``records`` is any iterable of objects with the
+    :class:`~repro.collector.record.UpdateRecord` shape (duck-typed so
+    this module imports nothing).  State per (peer, prefix) pair is the
+    same triple the paper's tooling tracked: currently reachable, ever
+    announced, last announced attributes (kept across withdrawals so a
+    re-announcement classifies as WADup vs WADiff).
+    """
+    reachable: Dict[tuple, bool] = {}
+    ever_announced: Dict[tuple, bool] = {}
+    last_attributes: Dict[tuple, tuple] = {}
+    labels: List[Tuple[str, bool]] = []
+    for record in records:
+        key = (record.peer_id, record.prefix.network, record.prefix.length)
+        if record.is_announce:
+            current = _attr_tuple(record.attributes)
+            if not ever_announced.get(key, False):
+                category, policy = "NEW_ANNOUNCE", False
+            else:
+                previous = last_attributes[key]
+                same_forwarding = current[0:2] == previous[0:2]
+                if reachable.get(key, False):
+                    if same_forwarding:
+                        category = "AADUP"
+                        policy = current != previous
+                    else:
+                        category, policy = "AADIFF", False
+                else:
+                    category = "WADUP" if same_forwarding else "WADIFF"
+                    policy = False
+            reachable[key] = True
+            ever_announced[key] = True
+            last_attributes[key] = current
+        else:
+            if reachable.get(key, False):
+                category, policy = "PLAIN_WITHDRAW", False
+            else:
+                category, policy = "WWDUP", False
+            reachable[key] = False
+        labels.append((category, policy))
+    return labels
+
+
+def reference_counts(records: Iterable) -> Dict[str, int]:
+    """Per-category tallies plus the policy-fluctuation count.
+
+    Returns a dict of category name → count (only categories that
+    occurred) with an extra ``"policy_changes"`` entry — the same
+    canonical shape as
+    :meth:`~repro.core.instability.CategoryCounts.nonzero_dict`.
+    """
+    counts: Dict[str, int] = {}
+    policy_changes = 0
+    for category, policy in reference_classify(records):
+        counts[category] = counts.get(category, 0) + 1
+        if policy:
+            policy_changes += 1
+    result = {name: counts[name] for name in sorted(counts)}
+    result["policy_changes"] = policy_changes
+    return result
+
+
+def reference_counts_by_peer(records: Iterable) -> Dict[int, Dict[str, int]]:
+    """Per-peer-AS category tallies (Figure 6's per-peer points)."""
+    records = list(records)
+    labels = reference_classify(records)
+    result: Dict[int, Dict[str, int]] = {}
+    for record, (category, policy) in zip(records, labels):
+        table = result.setdefault(record.peer_asn, {"policy_changes": 0})
+        table[category] = table.get(category, 0) + 1
+        if policy:
+            table["policy_changes"] += 1
+    return result
+
+
+def reference_counts_by_prefix(records: Iterable) -> Dict[str, int]:
+    """Events per prefix, keyed ``"network/length"`` with the network
+    as a plain integer (no address rendering to depend on)."""
+    result: Dict[str, int] = {}
+    for record in records:
+        key = f"{record.prefix.network}/{record.prefix.length}"
+        result[key] = result.get(key, 0) + 1
+    return result
+
+
+def reference_bin_counts(
+    records: Iterable,
+    bin_width: float = 600.0,
+    start: float = 0.0,
+    end: Optional[float] = None,
+) -> List[int]:
+    """Per-bin record counts over ``[start, end)`` (the Figure 2–5
+    time-series input).  ``end`` defaults to one bin past the latest
+    record, matching :func:`repro.analysis.timeseries.bin_records`."""
+    times = [record.time for record in records]
+    if not times:
+        return []
+    if end is None:
+        end = max(times) + bin_width
+    n_bins = max(1, -int(-(end - start) // bin_width))
+    counts = [0] * n_bins
+    for time in times:
+        index = int((time - start) // bin_width)
+        if 0 <= index < n_bins:
+            counts[index] += 1
+    return counts
+
+
+def reference_interarrival_histogram(
+    records: Iterable,
+    category: Optional[str] = None,
+) -> List[int]:
+    """Figure 8's per-bin gap counts, computed the obvious way.
+
+    Gaps are between consecutive events of each (prefix, peer AS)
+    pair — the paper's Prefix+AS unit — optionally restricted to one
+    taxonomy category; gaps above 24 hours are dropped.
+    """
+    records = list(records)
+    labels = reference_classify(records)
+    by_pair: Dict[tuple, List[float]] = {}
+    for record, (name, _) in zip(records, labels):
+        if category is not None and name != category:
+            continue
+        key = (record.prefix.network, record.prefix.length, record.peer_asn)
+        by_pair.setdefault(key, []).append(record.time)
+    counts = [0] * len(FIGURE8_EDGES)
+    for times in by_pair.values():
+        times.sort()
+        for earlier, later in zip(times, times[1:]):
+            gap = later - earlier
+            for index, edge in enumerate(FIGURE8_EDGES):
+                if gap <= edge:
+                    counts[index] += 1
+                    break
+    return counts
+
+
+def reference_digest(records: Iterable) -> str:
+    """SHA-256 over the classified stream, record by record.
+
+    One line per record — time, peer, prefix, kind, label, policy flag
+    — so any divergence anywhere in the stream changes the digest.
+    The differential runner computes the same rendering from the
+    optimized tiers' labels and compares.
+    """
+    records = list(records)
+    labels = reference_classify(records)
+    digest = hashlib.sha256()
+    for record, (category, policy) in zip(records, labels):
+        line = (
+            f"{record.time!r}|{record.peer_id}|{record.peer_asn}"
+            f"|{record.prefix.network}/{record.prefix.length}"
+            f"|{'A' if record.is_announce else 'W'}"
+            f"|{category}|{int(policy)}\n"
+        )
+        digest.update(line.encode("ascii"))
+    return digest.hexdigest()

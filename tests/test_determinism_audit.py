@@ -1,0 +1,112 @@
+"""Static determinism audit of ``src/repro``.
+
+The verify layer's whole premise — golden corpora, differential
+digests, chaos resume checks — is that every result is a pure function
+of explicit seeds and configs.  This audit scans the source tree for
+the two ways that premise silently breaks:
+
+1. module-level ``random.*`` calls (the shared global RNG: any caller
+   perturbs every other caller's stream) — all randomness must flow
+   through an explicitly seeded ``random.Random`` / ``default_rng``;
+2. wall-clock reads (``time.time``, ``datetime.now``, ...) feeding
+   simulated or recorded data — real time may only be used for
+   progress/elapsed display, never for results.
+
+New legitimate uses (display-only timing) go in the allowlist below,
+with a justification.
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).parent.parent / "src" / "repro"
+
+#: (path relative to src/repro, pattern) pairs that are allowed:
+#: display-only elapsed-time measurement, never part of a result.
+WALL_CLOCK_ALLOWLIST = {
+    ("__main__.py", "time.time"),  # "[... finished in Ns]" progress lines
+    ("campaign/runner.py", "time.perf_counter"),  # RunResult.elapsed
+}
+
+# Module-level RNG: `random.foo(...)` for any function on the module,
+# excluding the Random/SystemRandom constructors (seeded instances are
+# exactly what we want) and `np.random.default_rng` (matched via the
+# preceding-dot check below).
+GLOBAL_RANDOM = re.compile(r"\brandom\.(?!Random\b|SystemRandom\b)[a-z_]+\s*\(")
+
+WALL_CLOCK = re.compile(
+    r"\btime\.time\s*\(|\btime\.perf_counter\s*\(|\btime\.monotonic\s*\(|"
+    r"\bdatetime\.(?:now|today|utcnow)\s*\(|\bdate\.today\s*\("
+)
+
+
+def _source_files():
+    files = sorted(SRC.rglob("*.py"))
+    assert len(files) > 30, "audit is not seeing the source tree"
+    return files
+
+
+def _strip_comments(line):
+    return line.split("#", 1)[0]
+
+
+def test_no_module_level_random_calls():
+    offenders = []
+    for path in _source_files():
+        for number, line in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
+            code = _strip_comments(line)
+            match = GLOBAL_RANDOM.search(code)
+            if match is None:
+                continue
+            # `np.random.default_rng(...)` / `numpy.random...` are
+            # seeded generator constructors, not the global stream.
+            prefix = code[: match.start()]
+            if prefix.rstrip().endswith("."):
+                continue
+            offenders.append(
+                f"{path.relative_to(SRC)}:{number}: {line.strip()}"
+            )
+    assert not offenders, (
+        "module-level random.* calls found (use a seeded "
+        "random.Random instance):\n" + "\n".join(offenders)
+    )
+
+
+def test_wall_clock_only_in_allowlisted_display_code():
+    offenders = []
+    for path in _source_files():
+        relative = str(path.relative_to(SRC))
+        for number, line in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
+            code = _strip_comments(line)
+            match = WALL_CLOCK.search(code)
+            if match is None:
+                continue
+            call = match.group(0).rstrip(" (")
+            if (relative, call) in WALL_CLOCK_ALLOWLIST:
+                continue
+            offenders.append(f"{relative}:{number}: {line.strip()}")
+    assert not offenders, (
+        "wall-clock reads outside the display-only allowlist "
+        "(results must be functions of seeds, not real time):\n"
+        + "\n".join(offenders)
+    )
+
+
+def test_allowlist_entries_still_exist():
+    # Dead allowlist entries hide real regressions behind stale grants.
+    for relative, call in WALL_CLOCK_ALLOWLIST:
+        text = (SRC / relative).read_text()
+        assert call in text, (
+            f"allowlist entry ({relative}, {call}) no longer matches "
+            "anything — remove it"
+        )
+
+
+def test_numpy_rng_is_seeded():
+    # The one numpy RNG in the tree must stay an explicit default_rng(seed).
+    ssa = (SRC / "analysis" / "ssa.py").read_text()
+    assert "default_rng(seed)" in ssa

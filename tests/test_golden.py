@@ -1,0 +1,95 @@
+"""The golden corpus (tests/golden/ + repro.verify.golden).
+
+The committed corpus must keep verifying against the working tree, and
+regeneration must be byte-stable — two consecutive ``--write`` runs
+produce identical bytes, so an unchanged tree regenerates to a no-op
+diff and any semantic change shows up as a reviewable corpus diff.
+"""
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.collector import mrt
+from repro.verify.golden import (
+    CASES_FILE,
+    TRACE_FILE,
+    build_golden,
+    check_golden,
+    main,
+    write_golden,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def test_committed_corpus_verifies():
+    problems = check_golden(GOLDEN_DIR)
+    assert problems == []
+
+
+def test_regeneration_is_byte_stable(tmp_path):
+    first = tmp_path / "first"
+    second = tmp_path / "second"
+    write_golden(first)
+    write_golden(second)
+    for name in (CASES_FILE, TRACE_FILE):
+        assert (first / name).read_bytes() == (second / name).read_bytes()
+
+
+def test_regenerating_committed_corpus_is_a_noop(tmp_path):
+    regenerated = tmp_path / "golden"
+    write_golden(regenerated)
+    for name in (CASES_FILE, TRACE_FILE):
+        assert (
+            (regenerated / name).read_bytes()
+            == (GOLDEN_DIR / name).read_bytes()
+        ), f"{name}: committed corpus is stale (run --write and commit)"
+
+
+def test_committed_trace_decodes_to_frozen_classification():
+    cases = json.loads((GOLDEN_DIR / CASES_FILE).read_text())
+    trace = (GOLDEN_DIR / TRACE_FILE).read_bytes()
+    decoded = list(mrt.read_records(io.BytesIO(trace)))
+    assert len(decoded) == cases["trace"]["records"]
+
+
+def test_check_flags_a_doctored_corpus(tmp_path):
+    write_golden(tmp_path)
+    cases_path = tmp_path / CASES_FILE
+    cases = json.loads(cases_path.read_text())
+    cases["campaign"]["digest"] = "0" * 64
+    cases_path.write_text(json.dumps(cases, indent=2, sort_keys=True))
+    problems = check_golden(tmp_path)
+    assert any("campaign" in problem for problem in problems)
+
+
+def test_check_flags_a_corrupted_trace(tmp_path):
+    write_golden(tmp_path)
+    trace_path = tmp_path / TRACE_FILE
+    trace_path.write_bytes(trace_path.read_bytes()[:-4])
+    problems = check_golden(tmp_path)
+    assert any(TRACE_FILE in problem for problem in problems)
+
+
+def test_check_reports_missing_corpus(tmp_path):
+    problems = check_golden(tmp_path / "nowhere")
+    assert problems and "--write" in problems[0]
+
+
+def test_cli_check_and_write(tmp_path, capsys):
+    assert main(["--write", "--dir", str(tmp_path)]) == 0
+    assert main(["--check", "--dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "golden corpus OK" in out
+
+
+def test_build_golden_covers_all_sections():
+    payload, trace = build_golden()
+    assert set(payload) == {
+        "schema", "streams", "trace", "campaign", "figures"
+    }
+    assert len(payload["streams"]) == 9  # 5 fuzz seeds + 4 adversarial
+    assert trace.startswith(mrt.MAGIC)

@@ -1,0 +1,179 @@
+"""Edge-case coverage for the fault injectors and the flap-storm
+scenario (previously only exercised indirectly).
+
+The cases the issue calls out: faults scheduled at t=0, overlapping
+storm bursts, and a storm spanning a day boundary — plus the
+determinism guarantees the verify layer depends on (same seed, same
+cascade).
+"""
+
+import random
+
+import pytest
+
+from repro.collector.store import SECONDS_PER_DAY
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.faults import (
+    CustomerFlapGenerator,
+    MaintenanceWindow,
+    MisconfiguredProvider,
+    PoissonLinkFlapper,
+)
+from repro.sim.flapstorm import FlapStormScenario
+from repro.sim.link import Link
+
+
+def small_storm(**overrides):
+    settings = dict(n_routers=3, prefixes_per_router=4, hold_time=30.0, seed=3)
+    settings.update(overrides)
+    return FlapStormScenario(**settings)
+
+
+class TestFaultsAtTimeZero:
+    def test_engine_accepts_zero_delay_and_now_schedule(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(0.0, fired.append, "delay-0")
+        engine.schedule_at(0.0, fired.append, "at-now")
+        engine.run_until(1.0)
+        assert fired == ["delay-0", "at-now"]
+        with pytest.raises(SimulationError):
+            engine.schedule(-1.0, fired.append, "never")
+
+    def test_link_flapper_started_at_t0_flaps_and_repairs(self):
+        engine = Engine()
+        link = Link(engine, delay=0.01)
+        flapper = PoissonLinkFlapper(
+            engine,
+            [link],
+            mean_time_to_failure=1.0,
+            mean_repair_time=0.5,
+            rng=random.Random(0),
+        )
+        flapper.start()  # engine.now == 0.0
+        engine.run_until(60.0)
+        assert flapper.flap_count > 10
+        flapper.stop()
+        engine.run()
+        # After stop, any pending repair still fires but nothing new is
+        # scheduled: the link must end repaired.
+        assert link.is_up
+
+    def test_maintenance_window_at_midnight_fires_next_midnight(self):
+        # time_of_day=0 with the clock already at 0 must schedule the
+        # *next* midnight, not an event in the past (or an infinite
+        # same-instant loop).  Scheduling never touches the router.
+        engine = Engine()
+        window = MaintenanceWindow(engine, router=None, time_of_day=0.0)
+        window.start()
+        assert engine.next_event_time() == SECONDS_PER_DAY
+
+    def test_maintenance_window_later_today_fires_today(self):
+        engine = Engine(start_time=3600.0)
+        window = MaintenanceWindow(
+            engine, router=None, time_of_day=10 * 3600.0
+        )
+        window.start()
+        assert engine.next_event_time() == 10 * 3600.0
+
+    def test_maintenance_window_exactly_at_slot_waits_a_day(self):
+        # The clock sitting exactly on the slot is "not after it":
+        # today_slot > now is false, so the bounce goes to tomorrow.
+        engine = Engine(start_time=10 * 3600.0)
+        window = MaintenanceWindow(
+            engine, router=None, time_of_day=10 * 3600.0
+        )
+        window.start()
+        assert engine.next_event_time() == SECONDS_PER_DAY + 10 * 3600.0
+
+    def test_misconfigured_provider_with_no_prefixes_is_harmless(self):
+        storm = small_storm()
+        storm.settle()
+        provider = MisconfiguredProvider(
+            storm.engine, storm.routers[0], foreign_prefixes=[], period=5.0
+        )
+        provider.start()
+        storm.engine.run_until(storm.engine.now + 30.0)
+        assert provider.withdrawals_emitted == 0
+
+    def test_customer_flaps_on_router_without_originations(self):
+        storm = small_storm(prefixes_per_router=0)
+        storm.settle()
+        generator = CustomerFlapGenerator(
+            storm.engine,
+            storm.routers[0],
+            base_rate=1.0,
+            rng=random.Random(1),
+        )
+        generator.start()
+        storm.engine.run_until(storm.engine.now + 30.0)
+        assert generator.flap_count == 0  # nothing to flap, no crash
+
+
+class TestOverlappingStorms:
+    def test_two_overlapping_bursts_run_and_count_updates(self):
+        storm = small_storm()
+        storm.settle()
+        before = sum(r.updates_sent for r in storm.routers)
+        # Two victims flapping over the same window.
+        storm.inject_burst(victim_index=0, flaps=20, over_seconds=5.0)
+        storm.inject_burst(victim_index=1, flaps=20, over_seconds=5.0)
+        storm.engine.run_until(storm.engine.now + 60.0)
+        after = sum(r.updates_sent for r in storm.routers)
+        assert after > before
+
+    def test_overlapping_bursts_are_deterministic(self):
+        def cascade():
+            storm = small_storm(seed=9)
+            storm.settle()
+            storm.inject_burst(victim_index=0, flaps=15, over_seconds=4.0)
+            storm.inject_burst(victim_index=2, flaps=15, over_seconds=4.0)
+            storm.engine.run_until(storm.engine.now + 60.0)
+            return (
+                storm.engine.events_processed,
+                sum(r.updates_sent for r in storm.routers),
+            )
+
+        assert cascade() == cascade()
+
+    def test_run_storm_same_seed_same_result(self):
+        first = small_storm(seed=7).run_storm(
+            flaps=20, over_seconds=5.0, observe_for=60.0
+        )
+        second = small_storm(seed=7).run_storm(
+            flaps=20, over_seconds=5.0, observe_for=60.0
+        )
+        assert first.session_drops == second.session_drops
+        assert first.total_updates_sent == second.total_updates_sent
+        assert first.drop_times == second.drop_times
+
+
+@pytest.mark.slow
+class TestDayBoundary:
+    def test_storm_spanning_day_boundary(self):
+        # Settle, idle up to just before midnight, then flap across
+        # the boundary: the cascade must carry over t=86400 without
+        # scheduling errors, and update emission must continue on the
+        # far side.
+        storm = small_storm(prefixes_per_router=2)
+        storm.settle()
+        storm.engine.run_until(SECONDS_PER_DAY - 10.0)
+        before = sum(r.updates_sent for r in storm.routers)
+        storm.inject_burst(victim_index=0, flaps=20, over_seconds=20.0)
+        storm.engine.run_until(SECONDS_PER_DAY + 120.0)
+        after = sum(r.updates_sent for r in storm.routers)
+        assert after > before
+        assert storm.engine.now == SECONDS_PER_DAY + 120.0
+
+    def test_maintenance_window_fires_across_day_boundary(self):
+        storm = small_storm(prefixes_per_router=2)
+        storm.settle()  # now == 120
+        window = MaintenanceWindow(
+            storm.engine, storm.routers[0],
+            time_of_day=200.0, sessions_to_bounce=1,
+        )
+        window.start()
+        storm.engine.run_until(SECONDS_PER_DAY + 300.0)
+        # One bounce at t=200 today and one at t=86600 tomorrow; the
+        # bounced session must have re-established in between.
+        assert window.bounce_count == 2

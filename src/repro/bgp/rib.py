@@ -97,6 +97,15 @@ def _rank(route: Route) -> Tuple:
         attrs.next_hop,
         tuple(attrs.as_path),
         -1 if attrs.med is None else attrs.med,
+        # Raw optional/policy attributes: routes that tie on every
+        # criterion above can still be distinct objects (local_pref
+        # None vs. the explicit default, differing communities), and
+        # a stable sort would then hand the win to whichever arrived
+        # first — announcement-order dependence.
+        -1 if attrs.local_pref is None else attrs.local_pref,
+        tuple(sorted(attrs.communities)),
+        attrs.atomic_aggregate,
+        (-1, -1) if attrs.aggregator is None else attrs.aggregator,
     )
 
 

@@ -42,6 +42,7 @@ from ..net.prefix import Prefix
 from .config import CampaignConfig, canonical_json, sha256_text
 
 __all__ = [
+    "COMMUTATIVE_MERGES",
     "PartialResult",
     "ShardResult",
     "CampaignResult",
@@ -213,6 +214,15 @@ class PartialResult:
     def timer_mass(self) -> float:
         """Combined 30s+1m inter-arrival mass (paper: ~half)."""
         return timer_bin_mass(self.interarrival_proportions())
+
+
+#: Every ``+``-mergeable result type in the campaign pipeline.  A class
+#: listed here asserts: ``__add__`` is associative and commutative over
+#: its contents, with an explicit identity.  ``repro.lint`` (MRG001)
+#: requires every ``__add__``-defining class in this module to appear
+#: here and to merge all of its dataclass fields; the campaign property
+#: tests exercise merge-order independence over these types.
+COMMUTATIVE_MERGES = (CategoryCounts, BinnedSeries, PartialResult)
 
 
 def merge_partials(partials: List[PartialResult]) -> PartialResult:

@@ -130,6 +130,8 @@ class StreamClassifier:
     persists across calls, so a month can be fed day by day.
     """
 
+    __slots__ = ("_states",)
+
     def __init__(self) -> None:
         self._states: Dict[Tuple[int, Prefix], _RouteState] = {}
 

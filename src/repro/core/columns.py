@@ -446,6 +446,8 @@ class ColumnClassifier:
     day) classify exactly as one continuous stream.
     """
 
+    __slots__ = ("_states",)
+
     def __init__(self) -> None:
         self._states: Dict[Tuple[int, int, int], _CarryState] = {}
 

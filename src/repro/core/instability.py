@@ -44,7 +44,7 @@ __all__ = [
 ]
 
 
-@dataclass
+@dataclass(slots=True)
 class CategoryCounts:
     """Tallies of classified updates, per category."""
 
@@ -291,7 +291,7 @@ def counts_by_prefix(
     return dict(result)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Incident:
     """A pathological routing incident: a bin whose update level
     exceeds the baseline by ``magnitude`` orders of magnitude."""

@@ -32,7 +32,7 @@ def format_number(value: Number) -> str:
     return f"{value:.4f}"
 
 
-@dataclass
+@dataclass(slots=True)
 class Table:
     """A fixed-width text table with a title (one paper table/figure)."""
 
@@ -77,7 +77,7 @@ class Table:
         return "\n".join(lines)
 
 
-@dataclass
+@dataclass(slots=True)
 class Series:
     """A labelled numeric series (one curve of a paper figure)."""
 
@@ -102,7 +102,7 @@ class Series:
         return f"{self.label} [{n} points]: {points}"
 
 
-@dataclass
+@dataclass(slots=True)
 class ExperimentResult:
     """The standardized output of one experiment runner.
 

@@ -1,0 +1,84 @@
+"""Baseline files: grandfathered findings, tracked as a multiset.
+
+A baseline lets the linter land as a hard gate while old findings are
+paid down incrementally: findings recorded in the committed baseline
+do not fail the run, *new* ones do.  Entries match on
+``(rule, path, snippet)`` rather than line numbers, so unrelated edits
+above a grandfathered line do not resurrect it.
+
+This repo's policy (see ``docs/LINTING.md``) is an **empty** baseline:
+everything the initial rules surfaced was either fixed or carries a
+justified pragma.  The machinery stays because the next rule someone
+adds will surface debt that cannot all be fixed in one PR.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from .engine import Finding
+
+__all__ = ["load_baseline", "write_baseline", "apply_baseline"]
+
+SCHEMA_VERSION = 1
+
+
+def load_baseline(path: Path) -> Counter:
+    """The baseline as a multiset of finding keys (missing file =
+    empty baseline)."""
+    if not path.exists():
+        return Counter()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline schema "
+            f"{payload.get('schema')!r} (expected {SCHEMA_VERSION})"
+        )
+    baseline: Counter = Counter()
+    for entry in payload.get("findings", []):
+        baseline[(entry["rule"], entry["path"], entry["snippet"])] += 1
+    return baseline
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Persist ``findings`` as the new baseline (sorted, canonical)."""
+    entries = [
+        {
+            "rule": finding.rule,
+            "path": finding.path,
+            "snippet": finding.snippet,
+        }
+        for finding in findings
+    ]
+    entries.sort(
+        key=lambda entry: (entry["path"], entry["rule"], entry["snippet"])
+    )
+    payload = {"schema": SCHEMA_VERSION, "findings": entries}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def apply_baseline(
+    findings: Iterable[Finding], baseline: Counter
+) -> Tuple[List[Finding], int]:
+    """Split findings into (new, grandfathered-count).
+
+    Each baseline entry absorbs at most its recorded multiplicity, so
+    a second copy of a grandfathered violation still fails the run.
+    """
+    remaining = Counter(baseline)
+    new: List[Finding] = []
+    matched = 0
+    for finding in findings:
+        key = finding.key()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            matched += 1
+        else:
+            new.append(finding)
+    return new, matched

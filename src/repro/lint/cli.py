@@ -1,0 +1,167 @@
+"""The ``python -m repro.lint`` command line.
+
+Exit codes: 0 = clean (every finding fixed, pragma-justified, or
+baselined), 1 = new findings, 2 = usage or internal error.  ``--json``
+prints the machine-readable report (the same payload ``--output``
+writes for CI artifact upload on failure).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .engine import Finding, LintEngine, LintError
+from .rules import all_rules
+
+__all__ = ["main", "build_report"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based invariant linter for determinism, "
+            "mergeability, and hot-path discipline "
+            "(see docs/LINTING.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: src/ and tests/ "
+        "under --root)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repo root: lint paths default to <root>/src and "
+        "<root>/tests, and finding paths are reported relative "
+        "to it (default: cwd)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the JSON report instead of text",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write the JSON report to FILE (CI uploads it as "
+        "an artifact on failure)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="baseline file of grandfathered findings "
+        "(default: <root>/lint-baseline.json when present)",
+    )
+    parser.add_argument(
+        "--fix-baseline",
+        action="store_true",
+        help="rewrite the baseline to absorb all current findings, "
+        "then exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def build_report(
+    root: Path,
+    new: List[Finding],
+    baselined: int,
+    suppressed: int,
+    files: int,
+) -> dict:
+    counts: dict = {}
+    for finding in new:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return {
+        "schema": JSON_SCHEMA_VERSION,
+        "root": str(root),
+        "files": files,
+        "findings": [finding.to_payload() for finding in new],
+        "counts": {rule: counts[rule] for rule in sorted(counts)},
+        "baselined": baselined,
+        "suppressed": suppressed,
+    }
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.id}  {rule.title}")
+        lines.append(f"    {rule.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"error: --root {root} is not a directory", file=sys.stderr)
+        return 2
+    if args.paths:
+        paths = [Path(path) for path in args.paths]
+    else:
+        paths = [root / "src", root / "tests"]
+        paths = [path for path in paths if path.exists()]
+    if not paths:
+        print("error: nothing to lint", file=sys.stderr)
+        return 2
+
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+    else:
+        baseline_path = root / "lint-baseline.json"
+
+    engine = LintEngine(root)
+    try:
+        result = engine.lint_paths(paths)
+        baseline = load_baseline(baseline_path)
+    except (LintError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.fix_baseline:
+        write_baseline(baseline_path, result.findings)
+        print(
+            f"wrote {len(result.findings)} finding(s) to {baseline_path}"
+        )
+        return 0
+
+    new, baselined = apply_baseline(result.findings, baseline)
+    report = build_report(
+        root, new, baselined, len(result.suppressed), result.files
+    )
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for finding in new:
+            print(finding.render())
+        summary = (
+            f"{result.files} file(s): {len(new)} new finding(s), "
+            f"{baselined} baselined, "
+            f"{len(result.suppressed)} pragma-suppressed"
+        )
+        print(summary)
+    return 1 if new else 0

@@ -1,0 +1,51 @@
+"""The rule pack: one module per rule, assembled in id order.
+
+Adding a rule is three steps (see ``docs/LINTING.md``):
+
+1. create ``rules/<id>_<slug>.py`` with a :class:`~repro.lint.engine.Rule`
+   subclass,
+2. list its class here,
+3. add fixture tests (positive / negative / pragma) to
+   ``tests/test_lint.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..engine import Rule
+from .det001_global_random import GlobalRandomRule
+from .det002_wall_clock import WallClockRule
+from .det003_unsorted_iter import UnsortedIterationRule
+from .det004_builtin_hash import BuiltinHashRule
+from .hot001_slots import SlotsRule
+from .lint000_pragma import PragmaRule
+from .mrg001_merge_registry import MergeRegistryRule
+
+__all__ = ["all_rules", "rules_by_id"]
+
+_RULE_CLASSES = (
+    PragmaRule,
+    GlobalRandomRule,
+    WallClockRule,
+    UnsortedIterationRule,
+    BuiltinHashRule,
+    SlotsRule,
+    MergeRegistryRule,
+)
+
+
+def all_rules() -> List[Rule]:
+    """A fresh instance of every registered rule, in id order."""
+    return sorted(
+        (cls() for cls in _RULE_CLASSES), key=lambda rule: rule.id
+    )
+
+
+def rules_by_id(*ids: str) -> List[Rule]:
+    """The subset of rules with the given ids (unknown ids raise)."""
+    rules = {rule.id: rule for rule in all_rules()}
+    missing = sorted(set(ids) - set(rules))
+    if missing:
+        raise KeyError(f"unknown rule id(s): {', '.join(missing)}")
+    return [rules[rule_id] for rule_id in ids]

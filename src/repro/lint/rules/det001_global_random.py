@@ -1,0 +1,52 @@
+"""DET001: calls on the shared module-level ``random`` stream.
+
+The global ``random`` functions all draw from one hidden
+``random.Random`` instance.  Any caller perturbs every other caller's
+stream, so a result produced through it is a function of *call order
+across the whole process*, not of an explicit seed — which breaks the
+verify layer's premise that every result replays from its config.
+Constructing seeded instances (``random.Random(seed)``,
+``random.SystemRandom()`` for the one place true entropy is wanted)
+is exactly what the rule wants instead, so those stay allowed.
+
+Unlike the old regex audit, this sees through aliases: both
+``from random import randint`` and ``import random as rnd`` resolve
+to the same origin and are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import Finding, ModuleContext, Rule
+
+#: Seeded-generator constructors: instantiating these is the fix, not
+#: the bug.
+_ALLOWED = frozenset({"random.Random", "random.SystemRandom"})
+
+
+class GlobalRandomRule(Rule):
+    id = "DET001"
+    title = "call on the global random stream"
+    rationale = (
+        "All randomness must flow from explicitly seeded "
+        "random.Random / numpy default_rng(seed) instances; the "
+        "module-level functions share one process-global stream."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = ctx.resolve(node.func)
+            if origin is None or origin in _ALLOWED:
+                continue
+            if origin == "random" or origin.startswith("random."):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"call to global '{origin}' (draws from the "
+                    "process-wide stream; use a seeded "
+                    "random.Random instance)",
+                )

@@ -1,0 +1,57 @@
+"""DET002: wall-clock reads.
+
+Every repro result must be a pure function of seeds and configs; a
+wall-clock read anywhere near result-producing code makes output
+depend on *when* it ran.  The only legitimate uses in this repo are
+display-only elapsed-time measurements (progress lines, the campaign's
+``elapsed`` bookkeeping field), and those carry inline pragmas with a
+justification — the successor of the old audit's allowlist table,
+moved next to the code it grants.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import Finding, ModuleContext, Rule
+
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.today",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+
+class WallClockRule(Rule):
+    id = "DET002"
+    title = "wall-clock read"
+    rationale = (
+        "Results must be functions of seeds, never of real time; "
+        "display-only timing needs a justified pragma."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = ctx.resolve(node.func)
+            if origin in _WALL_CLOCK:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"wall-clock read '{origin}' (results must be "
+                    "functions of seeds; display-only timing needs "
+                    "a justified pragma)",
+                )

@@ -1,0 +1,42 @@
+"""DET004: builtin ``hash()`` of str/bytes values.
+
+``hash(str)`` and ``hash(bytes)`` are salted per process by
+``PYTHONHASHSEED`` — two runs of the same program disagree.  Any such
+hash that reaches a persisted artifact, a digest, or (the case this
+repo actually had) an RNG seed silently breaks replay.  Integer and
+int-tuple hashes are value-based and stable, so the rule only fires
+when the argument's static type is provably textual; use
+``zlib.crc32`` / ``hashlib`` for a stable text hash instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import Finding, ModuleContext, Rule
+
+
+class BuiltinHashRule(Rule):
+    id = "DET004"
+    title = "builtin hash() of a str/bytes value"
+    rationale = (
+        "hash(str/bytes) is PYTHONHASHSEED-salted and differs "
+        "between runs; use zlib.crc32 or hashlib for stable hashes."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or len(node.args) != 1:
+                continue
+            if ctx.resolve(node.func) != "builtins.hash":
+                continue
+            inferred = ctx.infer(node.args[0])
+            if inferred in ("str", "bytes"):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"hash() of a {inferred} value is salted by "
+                    "PYTHONHASHSEED and differs between runs; use "
+                    "zlib.crc32/hashlib for a stable hash",
+                )

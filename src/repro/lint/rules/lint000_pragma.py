@@ -1,0 +1,40 @@
+"""LINT000: the pragma grammar itself is linted.
+
+An allowlist is only as trustworthy as its entries.  Three failure
+modes get findings (emitted by the engine, attributed to this rule):
+
+- **malformed** pragmas — a comment that starts ``# lint:`` but does
+  not parse as ``allow[RULE-ID] -- justification`` would otherwise be
+  silently ignored, which is the worst outcome: the author believes
+  the grant exists;
+- **justification-free** pragmas — the justification is the review
+  artifact; a bare grant is indistinguishable from a shrug;
+- **stale** pragmas — a grant that no longer suppresses anything
+  hides the next real regression behind an old decision (the old
+  audit's ``test_allowlist_entries_still_exist`` check, generalized).
+
+The detection lives in :meth:`repro.lint.engine.LintEngine` because it
+needs the token stream and the post-run suppression tallies; this
+module contributes the rule identity, so LINT000 can be listed,
+documented, and (unlike every other rule) never pragma-suppressed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..engine import Finding, ModuleContext, Rule
+
+
+class PragmaRule(Rule):
+    id = "LINT000"
+    title = "malformed, unjustified, or stale pragma"
+    rationale = (
+        "Pragmas are reviewed grants: they must parse, carry a "
+        "justification, and still suppress something."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        # Engine-level: pragma findings need suppression results,
+        # so LintEngine emits them after the other rules run.
+        return ()

@@ -1,0 +1,158 @@
+"""MRG001: mergeable results must be registered and field-complete.
+
+The campaign's whole resume/sharding story rests on ``PartialResult``
+merges being associative and commutative with an explicit identity —
+that is what makes the merged result independent of shard completion
+order, pool size, and kill/resume cycles.  Two ways that silently
+breaks:
+
+1. someone adds a dataclass field and forgets to merge it in
+   ``__add__`` (the new field silently resets to its default on every
+   merge);
+2. someone adds a new ``+``-mergeable type without registering it in
+   ``COMMUTATIVE_MERGES``, so the property tests that prove
+   merge-order independence never see it.
+
+The rule statically enforces, for every ``__add__``-defining class in
+``repro.campaign.results``: registration in the module-level
+``COMMUTATIVE_MERGES`` tuple, an ``__radd__ = __add__`` alias (so
+``sum()`` folds work), and that the ``__add__`` body mentions every
+dataclass field.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from ..engine import Finding, ModuleContext, Rule
+
+REGISTRY_NAME = "COMMUTATIVE_MERGES"
+
+#: Suffix of the module(s) the discipline applies to.
+TARGET_SUFFIX = "campaign/results.py"
+
+
+def _registered_names(tree: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(target, ast.Name) and target.id == REGISTRY_NAME
+            for target in node.targets
+        ):
+            continue
+        if isinstance(node.value, (ast.Tuple, ast.List)):
+            for element in node.value.elts:
+                if isinstance(element, ast.Name):
+                    names.add(element.id)
+    return names
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else (
+            decorator
+        )
+        name = target.attr if isinstance(target, ast.Attribute) else (
+            getattr(target, "id", "")
+        )
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _dataclass_fields(node: ast.ClassDef) -> List[str]:
+    fields = []
+    for statement in node.body:
+        if not isinstance(statement, ast.AnnAssign):
+            continue
+        if not isinstance(statement.target, ast.Name):
+            continue
+        annotation = statement.annotation
+        if isinstance(annotation, ast.Subscript):
+            base = annotation.value
+            if isinstance(base, ast.Name) and base.id == "ClassVar":
+                continue
+        fields.append(statement.target.id)
+    return fields
+
+
+def _mentioned_names(func: ast.FunctionDef) -> Set[str]:
+    seen: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute):
+            seen.add(node.attr)
+        elif isinstance(node, ast.keyword) and node.arg:
+            seen.add(node.arg)
+        elif isinstance(node, ast.Name):
+            seen.add(node.id)
+    return seen
+
+
+class MergeRegistryRule(Rule):
+    id = "MRG001"
+    title = "unregistered or field-incomplete merge"
+    rationale = (
+        "Every +-mergeable result class must be registered in "
+        "COMMUTATIVE_MERGES and merge all of its dataclass fields; "
+        "a forgotten field silently resets on every shard merge."
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.rel.endswith(TARGET_SUFFIX)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        registered = _registered_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            add = None
+            has_radd = False
+            for statement in node.body:
+                if (
+                    isinstance(statement, ast.FunctionDef)
+                    and statement.name == "__add__"
+                ):
+                    add = statement
+                if isinstance(statement, ast.Assign) and any(
+                    isinstance(target, ast.Name)
+                    and target.id == "__radd__"
+                    for target in statement.targets
+                ):
+                    has_radd = True
+                if (
+                    isinstance(statement, ast.FunctionDef)
+                    and statement.name == "__radd__"
+                ):
+                    has_radd = True
+            if add is None:
+                continue
+            if node.name not in registered:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"'{node.name}' defines __add__ but is not "
+                    f"registered in {REGISTRY_NAME} (the merge "
+                    "property tests iterate that registry)",
+                )
+            if not has_radd:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"'{node.name}' defines __add__ without "
+                    "__radd__ = __add__ (sum() folds need it)",
+                )
+            if _is_dataclass(node):
+                missing = sorted(
+                    set(_dataclass_fields(node)) - _mentioned_names(add)
+                )
+                if missing:
+                    yield ctx.finding(
+                        self.id,
+                        add,
+                        f"__add__ of '{node.name}' never mentions "
+                        f"field(s): {', '.join(missing)} — they "
+                        "would silently reset on merge",
+                    )

@@ -54,7 +54,10 @@ def aggregate(
         changed = False
         merged: Set[Prefix] = set()
         done: Set[Prefix] = set()
-        for prefix in current:
+        # Sorted so each pass visits prefixes in canonical address
+        # order (the merge is confluent, but the discipline is cheap
+        # and makes the pass order a non-question — DET003).
+        for prefix in sorted(current):
             if prefix in done:
                 continue
             sibling = None

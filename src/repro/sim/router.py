@@ -689,7 +689,9 @@ class Router:
                 continue
             announce_groups: Dict[PathAttributes, List[Prefix]] = {}
             withdrawals: List[Prefix] = []
-            for prefix in dirty:
+            # Sorted so the NLRI order inside emitted UPDATEs is
+            # canonical rather than set-iteration order (DET003).
+            for prefix in sorted(dirty):
                 exported = self._export(peer_id, prefix)
                 if exported is None:
                     if self.stateless_bgp:

@@ -11,6 +11,7 @@ shared exchange fabric.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -79,7 +80,9 @@ class ExchangePoint:
         self.sink = sink
         self.full_mesh = full_mesh
         self.link_delay = link_delay
-        self.rng = rng or random.Random(hash(name) & 0xFFFF)
+        # crc32, not hash(): str hashes are PYTHONHASHSEED-salted, so
+        # the default seed would differ on every run (DET004).
+        self.rng = rng or random.Random(zlib.crc32(name.encode()) & 0xFFFF)
         self.route_server = RouteServer(
             engine,
             asn=server_asn,

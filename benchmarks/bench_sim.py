@@ -1,0 +1,349 @@
+#!/usr/bin/env python3
+"""Differential simulator benchmark: calendar-queue vs reference heap.
+
+Three scenarios, each run on both schedulers with identical seeds:
+
+- **sync-population** — the paper's §4.2 shape: a large population of
+  unjittered 30-second interval timers in a handful of phase cohorts
+  (so hundreds fire at the same instant), a jittered minority, a
+  hold-timer cohort whose timeout is cancelled and re-scheduled on
+  every keepalive (the BGP hold-timer reset pattern — all dead
+  entries), and periodic stop/start churn.  This is the headline
+  scenario: the calendar queue drains each shared instant in one
+  bucket scan, re-arms by handle reuse, and compacts the dead, where
+  the heap pays Python-level ``heappush``/``heappop`` pairs for every
+  event — including every entry that was already cancelled.
+- **flap-storm** — the full router mesh cascade
+  (:class:`repro.sim.flapstorm.FlapStormScenario`): CPU queues,
+  sessions, MRAI batching, and lots of cancelled/stale work.
+- **table-dump** — a hub router repeatedly dumping its table to peers
+  over ``wire=True`` links through forced session bounces: the
+  memoized codec's target (identical UPDATE bytes re-sent per peer per
+  cycle).
+
+For every scenario the two engines must produce *identical* digests
+(event counts, final clocks, and full route/firing state) — the
+timings are only reported once equivalence holds.  The acceptance bar
+is >= 5x events/sec on sync-population.
+
+Run:  PYTHONPATH=src python benchmarks/bench_sim.py [--smoke]
+      PYTHONPATH=src python benchmarks/run_bench.py --sim
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import hashlib
+import json
+import random
+import time
+from pathlib import Path
+
+from repro.core.classifier import route_state_digest
+from repro.net.prefix import Prefix
+from repro.sim.engine import Engine
+from repro.sim.flapstorm import FlapStormScenario
+from repro.sim.link import Link
+from repro.sim.refengine import ReferenceEngine
+from repro.sim.router import Router, connect
+from repro.sim.timers import IntervalTimer
+
+#: Scenario sizes: (full, smoke).
+_SYNC_TIMERS = (5000, 160)
+_SYNC_HOLD_ACTORS = (9000, 80)
+_SYNC_DURATION = (1200.0, 300.0)
+_STORM_SIZE = ((8, 30, 150, 240.0), (4, 10, 40, 120.0))
+_DUMP_SIZE = ((600, 12, 6), (120, 4, 2))
+
+_PHASE_COHORTS = 8
+_JITTERED_FRACTION = 0.025
+
+
+def _noop() -> None:
+    """The measured work is the timer machinery itself (fire_count)."""
+
+
+class _HoldTimerActor:
+    """The BGP hold-timer reset pattern: every keepalive cancels the
+    pending timeout and schedules a fresh one — in steady state the
+    timeout never fires and the queue fills with dead entries."""
+
+    __slots__ = ("engine", "hold_time", "expired", "_pending", "_expire_cb")
+
+    def __init__(self, engine, hold_time: float) -> None:
+        self.engine = engine
+        self.hold_time = hold_time
+        self.expired = 0
+        self._pending = None
+        self._expire_cb = self._expire
+
+    def keepalive(self) -> None:
+        if self._pending is not None:
+            self._pending.cancel()
+        self._pending = self.engine.schedule(self.hold_time, self._expire_cb)
+
+    def _expire(self) -> None:
+        self.expired += 1
+
+
+def _digest(*parts) -> str:
+    return hashlib.sha256(repr(parts).encode()).hexdigest()
+
+
+def _router_state(router: Router):
+    """Adj-RIB-In entries of one router in route_state_digest form."""
+    adj_in = router.loc_rib.adj_in
+    return [
+        ((peer, prefix.network, prefix.length), True, True, attrs)
+        for peer in adj_in.peers()
+        for prefix, attrs in adj_in.routes_from(peer).items()
+    ]
+
+
+# ---------------------------------------------------------------------------
+# scenarios — each takes an engine class, returns (events, digest)
+# ---------------------------------------------------------------------------
+
+def scenario_sync_population(engine_cls, smoke: bool):
+    size = _SYNC_TIMERS[smoke]
+    n_actors = _SYNC_HOLD_ACTORS[smoke]
+    duration = _SYNC_DURATION[smoke]
+    engine = engine_cls()
+    timers = []
+    n_jittered = int(size * _JITTERED_FRACTION)
+    for i in range(size):
+        if i < n_jittered:
+            timer = IntervalTimer(
+                engine, 30.0, _noop, jitter=0.25, rng=random.Random(1000 + i)
+            )
+        else:
+            # Phase cohorts: hundreds of timers share each firing
+            # instant — the unjittered vendor-timer population.
+            timer = IntervalTimer(
+                engine, 30.0, _noop, phase=float(i % _PHASE_COHORTS)
+            )
+        timer.start()
+        timers.append(timer)
+
+    # Hold-timer cohort: phase-aligned keepalives, each reset leaving
+    # a dead 90 s timeout behind (the lazy-cancellation workload).
+    actors = []
+    for i in range(n_actors):
+        actor = _HoldTimerActor(engine, hold_time=600.0)
+        timer = IntervalTimer(
+            engine, 30.0, actor.keepalive, phase=float(i % _PHASE_COHORTS)
+        )
+        timer.start()
+        timers.append(timer)
+        actors.append(actor)
+
+    # Churn: every 300 s stop a seeded slice of the population and
+    # restart it 60 s later, leaving cancelled handles in the queue
+    # (the lazy-cancellation workload).
+    churn_rng = random.Random(7)
+
+    def churn():
+        victims = churn_rng.sample(range(size), size // 10)
+        for index in victims:
+            timers[index].stop()
+        engine.schedule(60.0, restart, tuple(victims))
+        if engine.now + 300.0 <= duration:
+            engine.schedule(300.0, churn)
+
+    def restart(victims):
+        for index in victims:
+            timers[index].start()
+
+    engine.schedule(300.0, churn)
+    engine.run_until(duration)
+    digest = _digest(
+        engine.events_processed,
+        round(engine.now, 9),
+        tuple(t.fire_count for t in timers),
+        tuple(a.expired for a in actors),
+    )
+    return engine.events_processed, digest
+
+
+def scenario_flap_storm(engine_cls, smoke: bool):
+    n_routers, per_router, flaps, observe = _STORM_SIZE[smoke]
+    engine = engine_cls()
+    scenario = FlapStormScenario(
+        n_routers=n_routers,
+        prefixes_per_router=per_router,
+        seed=7,
+        engine=engine,
+    )
+    result = scenario.run_storm(
+        flaps=flaps, over_seconds=10.0, observe_for=observe
+    )
+    rib_digests = tuple(
+        route_state_digest(_router_state(router))
+        for router in scenario.routers
+    )
+    digest = _digest(
+        engine.events_processed,
+        round(engine.now, 9),
+        result.session_drops,
+        result.total_updates_sent,
+        result.crashes,
+        tuple(round(t, 9) for t in result.drop_times),
+        rib_digests,
+    )
+    return engine.events_processed, digest
+
+
+def scenario_table_dump(engine_cls, smoke: bool):
+    n_prefixes, n_peers, bounces = _DUMP_SIZE[smoke]
+    engine = engine_cls()
+    hub = Router(engine, asn=100, router_id=(10 << 24) + 1)
+    base = 20 * (1 << 24)
+    for i in range(n_prefixes):
+        hub.originate(Prefix(base + i * 256, 24))
+    peers, links = [], []
+    for i in range(n_peers):
+        peer = Router(engine, asn=200 + i, router_id=(10 << 24) + 100 + i)
+        link = Link(engine, delay=0.01, wire=True)
+        connect(hub, peer, link=link)
+        peers.append(peer)
+        links.append(link)
+    engine.run_until(120.0)
+    # Bounce every session repeatedly: each re-establishment re-dumps
+    # the identical table over the wire (memoized-encode territory).
+    for cycle in range(bounces):
+        at = engine.now
+        for link in links:
+            engine.schedule_at(at + 1.0, link.go_down)
+            engine.schedule_at(at + 3.0, link.go_up)
+        engine.run_until(at + 120.0)
+    digest = _digest(
+        engine.events_processed,
+        round(engine.now, 9),
+        tuple(route_state_digest(_router_state(peer)) for peer in peers),
+        tuple(link.bytes_carried for link in links),
+        tuple(link.messages_delivered for link in links),
+        tuple(link.messages_lost for link in links),
+        hub.updates_sent,
+        hub.suppressed_outputs,
+    )
+    return engine.events_processed, digest
+
+
+SCENARIOS = (
+    ("sync_population", scenario_sync_population),
+    ("flap_storm", scenario_flap_storm),
+    ("table_dump", scenario_table_dump),
+)
+
+
+# ---------------------------------------------------------------------------
+# harness
+# ---------------------------------------------------------------------------
+
+def _time_scenario(fn, smoke: bool, repeats: int):
+    """Run the scenario on both engines, repeats interleaved (so slow
+    machine drift hits both sides equally); best-of per engine."""
+    results = {}
+    for _ in range(repeats):
+        for engine_cls in (ReferenceEngine, Engine):
+            gc.collect()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                run_events, run_digest = fn(engine_cls, smoke)
+                elapsed = time.perf_counter() - start
+            finally:
+                gc.enable()
+            prior = results.get(engine_cls)
+            if prior is None:
+                results[engine_cls] = [elapsed, run_events, run_digest]
+                continue
+            if (run_events, run_digest) != tuple(prior[1:]):
+                raise SystemExit(
+                    f"{fn.__name__} is not deterministic across repeats"
+                )
+            prior[0] = min(prior[0], elapsed)
+    return results[ReferenceEngine], results[Engine]
+
+
+def run_sim_bench(args) -> None:
+    smoke = bool(getattr(args, "smoke", False))
+    repeats = 1 if smoke else args.repeats
+    mode = "smoke (digest check only)" if smoke else f"best of {repeats}"
+    print(f"Simulator benchmark: calendar queue vs reference heap ({mode})")
+
+    scenarios = {}
+    all_identical = True
+    for name, fn in SCENARIOS:
+        (
+            (ref_seconds, ref_events, ref_digest),
+            (new_seconds, new_events, new_digest),
+        ) = _time_scenario(fn, smoke, repeats)
+        identical = (ref_events, ref_digest) == (new_events, new_digest)
+        all_identical = all_identical and identical
+        speedup = ref_seconds / new_seconds if new_seconds else float("inf")
+        scenarios[name] = {
+            "events": new_events,
+            "reference_seconds": round(ref_seconds, 4),
+            "engine_seconds": round(new_seconds, 4),
+            "reference_events_per_sec": round(ref_events / ref_seconds),
+            "engine_events_per_sec": round(new_events / new_seconds),
+            "speedup": round(speedup, 2),
+            "digest": new_digest,
+            "digests_identical": identical,
+        }
+        status = "identical" if identical else "DIGEST MISMATCH"
+        print(
+            f"  {name}: {new_events:,} events  "
+            f"heap {ref_seconds:.3f}s -> calendar {new_seconds:.3f}s  "
+            f"({speedup:.2f}x, digests {status})"
+        )
+        if not identical:
+            print(f"    reference: {ref_events} events, {ref_digest}")
+            print(f"    calendar:  {new_events} events, {new_digest}")
+
+    sync_speedup = scenarios["sync_population"]["speedup"]
+    bar_enforced = not smoke and not getattr(args, "no_bar", False)
+    payload = {
+        "scenarios": scenarios,
+        "digests_identical": all_identical,
+        "speedup_sync_population": sync_speedup,
+        "repeats": repeats,
+        "timing": "best (minimum) of repeats per engine",
+        "bar": ">= 5x events/sec on sync_population, digests identical "
+               "on all scenarios",
+        "bar_enforced": bar_enforced,
+        "smoke": smoke,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"Wrote {args.output}")
+    if not all_identical:
+        raise SystemExit("old and new engines disagree — see digests above")
+    if bar_enforced and sync_speedup < 5.0:
+        raise SystemExit(
+            f"sync_population speedup {sync_speedup:.2f}x below the 5x bar"
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sizes, one repeat, digest check only (no timing bar)",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--no-bar", action="store_true",
+        help="record numbers without enforcing the speedup bar",
+    )
+    parser.add_argument("--output", default=None)
+    args = parser.parse_args()
+    if args.output is None:
+        root = Path(__file__).resolve().parent.parent
+        args.output = str(root / "BENCH_sim.json")
+    run_sim_bench(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -14,8 +14,15 @@ enforced only when the machine actually has >= 4 CPUs — on fewer
 cores the pool cannot physically beat the inline run, so the file
 records the honest numbers and the bar is reported as not applicable.
 
+``--sim`` mode runs the discrete-event scheduler benchmark
+(``benchmarks/bench_sim.py``): three simulator scenarios on the
+calendar-queue engine vs the reference heap, digest-checked, written
+to ``BENCH_sim.json``.  ``--smoke`` shrinks it to a seconds-long
+digest-equivalence check with no timing bar (CI quick lane).
+
 Run:  PYTHONPATH=src python benchmarks/run_bench.py [--records N]
       PYTHONPATH=src python benchmarks/run_bench.py --campaign [--days N]
+      PYTHONPATH=src python benchmarks/run_bench.py --sim [--smoke]
 """
 
 from __future__ import annotations
@@ -211,6 +218,15 @@ def main() -> None:
         help="benchmark the sharded campaign runner instead of the "
              "streaming-vs-columnar tiers",
     )
+    parser.add_argument(
+        "--sim", action="store_true",
+        help="benchmark the discrete-event scheduler (calendar queue "
+             "vs reference heap) instead of the columnar tiers",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="sim mode: small sizes, one repeat, digest check only",
+    )
     parser.add_argument("--records", type=int, default=1_000_000)
     parser.add_argument("--days", type=int, default=4,
                         help="campaign mode: campaign length")
@@ -234,6 +250,16 @@ def main() -> None:
     parser.add_argument("--output", default=None)
     args = parser.parse_args()
     root = Path(__file__).resolve().parent.parent
+    if args.sim:
+        try:
+            from bench_sim import run_sim_bench
+        except ImportError:  # invoked as a package module
+            from benchmarks.bench_sim import run_sim_bench
+
+        if args.output is None:
+            args.output = str(root / "BENCH_sim.json")
+        run_sim_bench(args)
+        return
     if args.campaign:
         if args.output is None:
             args.output = str(root / "BENCH_campaign.json")

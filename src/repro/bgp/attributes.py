@@ -16,13 +16,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from enum import IntEnum
-from typing import FrozenSet, Iterable, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
 __all__ = [
     "AsPath",
     "Origin",
     "PathAttributes",
     "WELL_KNOWN_COMMUNITIES",
+    "interned",
 ]
 
 
@@ -125,7 +126,7 @@ WELL_KNOWN_COMMUNITIES = {
 }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PathAttributes:
     """The attribute set accompanying one route announcement.
 
@@ -209,3 +210,28 @@ class PathAttributes:
                 ) + "}"
             )
         return " ".join(parts)
+
+
+#: Cap on the interning pool; cleared wholesale when hit so pathological
+#: attribute churn (fuzzing) cannot grow it without bound.
+_INTERN_LIMIT = 65536
+
+_intern_pool: Dict[PathAttributes, PathAttributes] = {}
+
+
+def interned(attrs: PathAttributes) -> PathAttributes:
+    """The canonical shared instance equal to ``attrs``.
+
+    A table holds one :class:`PathAttributes` per *distinct* path; the
+    RIBs and routers intern on ingest so AdjRibIn/LocRib/AdjRibOut
+    entries for the same path share one object instead of one per
+    (peer, prefix).  Safe because the class is frozen: interning changes
+    identity only, never equality or ordering.
+    """
+    cached = _intern_pool.get(attrs)
+    if cached is not None:
+        return cached
+    if len(_intern_pool) >= _INTERN_LIMIT:
+        _intern_pool.clear()
+    _intern_pool[attrs] = attrs
+    return attrs

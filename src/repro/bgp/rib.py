@@ -22,7 +22,7 @@ from enum import Enum, auto
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..net.prefix import Prefix
-from .attributes import PathAttributes
+from .attributes import PathAttributes, interned
 
 __all__ = [
     "Route",
@@ -39,7 +39,7 @@ __all__ = [
 DEFAULT_LOCAL_PREF = 100
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Route:
     """One candidate path: a prefix, its attributes, and the peer it
     came from (``peer`` is the peer's 32-bit address / identifier)."""
@@ -66,7 +66,7 @@ class ChangeKind(Enum):
     WITHDRAW = auto()      #: prefix no longer reachable
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RibChange:
     """The outcome of applying one announcement/withdrawal to the RIB."""
 
@@ -141,14 +141,21 @@ def best_route(candidates: Iterable[Route]) -> Optional[Route]:
 
 
 class AdjRibIn:
-    """Routes received from peers, keyed by (peer, prefix)."""
+    """Routes received from peers, keyed by (peer, prefix).
+
+    Attributes are interned on ingest (:func:`interned`): many peers
+    announcing the same path share one :class:`PathAttributes` object
+    instead of one per (peer, prefix) entry.
+    """
+
+    __slots__ = ("_by_peer",)
 
     def __init__(self) -> None:
         self._by_peer: Dict[int, Dict[Prefix, PathAttributes]] = {}
 
     def update(self, peer: int, prefix: Prefix, attrs: PathAttributes) -> None:
         """Record an announcement from ``peer``."""
-        self._by_peer.setdefault(peer, {})[prefix] = attrs
+        self._by_peer.setdefault(peer, {})[prefix] = interned(attrs)
 
     def withdraw(self, peer: int, prefix: Prefix) -> bool:
         """Remove ``peer``'s route for ``prefix``; True if one existed."""
@@ -191,6 +198,8 @@ class AdjRibOut:
     re-announcements (avoiding some AADups).
     """
 
+    __slots__ = ("_by_peer",)
+
     def __init__(self) -> None:
         self._by_peer: Dict[int, Dict[Prefix, PathAttributes]] = {}
 
@@ -201,7 +210,7 @@ class AdjRibOut:
     def record_announce(
         self, peer: int, prefix: Prefix, attrs: PathAttributes
     ) -> None:
-        self._by_peer.setdefault(peer, {})[prefix] = attrs
+        self._by_peer.setdefault(peer, {})[prefix] = interned(attrs)
 
     def record_withdraw(self, peer: int, prefix: Prefix) -> bool:
         """Forget the advertisement to ``peer``; True if one existed."""
@@ -227,6 +236,8 @@ class LocRib:
     and return a :class:`RibChange` describing what happened to the best
     route — the signal a border router turns into outbound updates.
     """
+
+    __slots__ = ("adj_in", "_best")
 
     def __init__(self) -> None:
         self.adj_in = AdjRibIn()

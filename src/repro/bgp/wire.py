@@ -19,7 +19,7 @@ import struct
 from typing import List, Tuple
 
 from ..net.prefix import Prefix
-from .attributes import AsPath, Origin, PathAttributes
+from .attributes import AsPath, Origin, PathAttributes, interned
 from .messages import (
     KeepAliveMessage,
     MessageType,
@@ -29,7 +29,14 @@ from .messages import (
     UpdateMessage,
 )
 
-__all__ = ["WireError", "encode_message", "decode_message", "HEADER_SIZE"]
+__all__ = [
+    "WireError",
+    "encode_message",
+    "decode_message",
+    "encode_message_cached",
+    "decode_message_cached",
+    "HEADER_SIZE",
+]
 
 
 class WireError(ValueError):
@@ -229,15 +236,17 @@ def _decode_attributes(data: bytes) -> PathAttributes:
             )
         else:
             raise WireError(f"unsupported attribute type {type_code}")
-    return PathAttributes(
-        as_path=as_path,
-        next_hop=next_hop,
-        origin=origin,
-        med=med,
-        local_pref=local_pref,
-        communities=communities,
-        atomic_aggregate=atomic,
-        aggregator=aggregator,
+    return interned(
+        PathAttributes(
+            as_path=as_path,
+            next_hop=next_hop,
+            origin=origin,
+            med=med,
+            local_pref=local_pref,
+            communities=communities,
+            atomic_aggregate=atomic,
+            aggregator=aggregator,
+        )
     )
 
 
@@ -412,3 +421,45 @@ def decode_message(data: bytes):
     if type_code == MessageType.NOTIFICATION:
         return _decode_notification(body), total
     raise WireError(f"unknown message type {type_code}")
+
+
+# ---------------------------------------------------------------------------
+# memoized codec
+# ---------------------------------------------------------------------------
+#
+# Table dumps and flap storms send the *same* UPDATE to many peers and
+# re-send it every flap cycle; every message type is a frozen dataclass
+# (hashable, immutable), so encode results can be memoized on the
+# message and decode results on the exact wire bytes.  Sharing the
+# decoded message object across deliveries is safe for the same reason
+# interning PathAttributes is: consumers only ever read them.  Both
+# caches are bounded and cleared wholesale at the limit so adversarial
+# traffic (fuzzing) cannot grow them without bound.
+
+_CODEC_CACHE_LIMIT = 4096
+
+_encode_cache: dict = {}
+_decode_cache: dict = {}
+
+
+def encode_message_cached(message) -> bytes:
+    """Memoizing :func:`encode_message` for repeated identical messages."""
+    cached = _encode_cache.get(message)
+    if cached is None:
+        cached = encode_message(message)
+        if len(_encode_cache) >= _CODEC_CACHE_LIMIT:
+            _encode_cache.clear()
+        _encode_cache[message] = cached
+    return cached
+
+
+def decode_message_cached(data: bytes):
+    """Memoizing :func:`decode_message`; same ``(message, consumed)``
+    contract, keyed on the exact wire bytes."""
+    cached = _decode_cache.get(data)
+    if cached is None:
+        cached = decode_message(data)
+        if len(_decode_cache) >= _CODEC_CACHE_LIMIT:
+            _decode_cache.clear()
+        _decode_cache[data] = cached
+    return cached

@@ -5,10 +5,15 @@ types and classifier state the columnar pipeline instantiates millions
 of times per simulated day.  A ``__dict__`` per instance costs ~100
 bytes and a pointer chase on every attribute access; PR 1's profile
 showed slotting these types was worth double-digit percent on the
-materialization path.  The rule keeps the discipline from silently
-eroding: every class in those modules declares ``__slots__`` directly
-or via ``@dataclass(slots=True)``.  Enums, exceptions, and the other
-interpreter-managed layouts are exempt.
+materialization path.  The discipline also covers ``repro.sim`` (event
+handles, timers, links, routers — the discrete-event hot path drains
+millions of events per run) and the RIB data model
+(``repro.bgp.rib`` / ``repro.bgp.attributes``, where a table holds one
+``Route``/``PathAttributes`` per (peer, prefix)).  The rule keeps the
+discipline from silently eroding: every class in those modules
+declares ``__slots__`` directly or via ``@dataclass(slots=True)``.
+Enums, exceptions, and the other interpreter-managed layouts are
+exempt.
 """
 
 from __future__ import annotations
@@ -20,8 +25,12 @@ from ..engine import Finding, ModuleContext, Rule
 
 #: Module paths the discipline applies to (suffix match on the
 #: posix-style lint-relative path).
-TARGET_SUFFIXES = ("collector/record.py",)
-TARGET_DIRS = ("repro/core/",)
+TARGET_SUFFIXES = (
+    "collector/record.py",
+    "bgp/rib.py",
+    "bgp/attributes.py",
+)
+TARGET_DIRS = ("repro/core/", "repro/sim/")
 
 _EXEMPT_BASES = frozenset(
     {
@@ -93,10 +102,11 @@ class SlotsRule(Rule):
     id = "HOT001"
     title = "hot-path class without __slots__"
     rationale = (
-        "Per-record and classifier-state classes in "
-        "repro.collector.record / repro.core are allocated millions "
-        "of times; an instance __dict__ there costs memory and "
-        "attribute-chase time on the hottest paths."
+        "Per-record, classifier-state, simulator, and RIB classes in "
+        "repro.collector.record / repro.core / repro.sim / "
+        "repro.bgp.{rib,attributes} are allocated or traversed "
+        "millions of times; an instance __dict__ there costs memory "
+        "and attribute-chase time on the hottest paths."
     )
 
     def applies_to(self, ctx: ModuleContext) -> bool:

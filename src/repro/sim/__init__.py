@@ -3,6 +3,7 @@ route servers, IGP interaction, fault injection, storms, and the
 Floyd-Jacobson synchronization model."""
 
 from .engine import Engine, EventHandle, SimulationError
+from .refengine import ReferenceEngine
 from .timers import DEFAULT_MRAI, IntervalTimer, MraiBatcher
 from .link import CsuLink, Link
 from .router import CpuModel, RouteCache, Router, connect
@@ -21,6 +22,7 @@ from .trafficgen import ForwardingWorkload, TrafficStats
 __all__ = [
     "Engine",
     "EventHandle",
+    "ReferenceEngine",
     "SimulationError",
     "DEFAULT_MRAI",
     "IntervalTimer",

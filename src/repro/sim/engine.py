@@ -5,15 +5,60 @@ A minimal, deterministic event scheduler: callbacks are ordered by
 scheduling order and runs are exactly reproducible.  All the mechanism
 models (routers, links, timers, fault injectors) hang off one
 :class:`Engine`.
+
+Scheduler design
+----------------
+The queue is a *calendar of exact-timestamp buckets*: a dict mapping
+each distinct firing time to a FIFO list of handles, plus a binary heap
+of the distinct times themselves.  Each bucket is appended in schedule
+order, so within-bucket list order *is* scheduling order (the order the
+reference heap encodes as ``seq``) — draining the earliest bucket
+front-to-back reproduces the reference heap's ``(time, seq)`` order
+exactly (property-tested against
+:class:`repro.sim.refengine.ReferenceEngine`).  Ordering is therefore
+positional; ``seq`` on a handle records its allocation order and is
+not reassigned on the :meth:`Engine.reschedule` reuse fast path.
+
+Why this shape fits the paper's workloads:
+
+- **Phase-locked timer populations** (§4.2): N unjittered routers
+  share firing instants, so N events collapse into one bucket — one
+  heap operation and one list scan per instant instead of N
+  ``heappush``/``heappop`` pairs comparing handles in Python.
+- **O(1) amortized insert** for the dominant near-future periodic
+  events: an existing bucket is a dict hit plus a list append; only
+  the first event at a new instant pays a float ``heappush`` (C-level
+  comparisons, vs. the old ``EventHandle.__lt__`` in Python).
+- **Lazy-cancellation compaction**: MRAI re-arms, hold-timer resets,
+  and link flaps leave large dead fractions in the queue.  Cancelled
+  handles are discarded during the drain for the cost of an attribute
+  check (no heap operation — the reference heap pays a full
+  log-compare pop per dead entry), and the engine tracks live/dead
+  counts, sweeping dead entries out of future buckets only when the
+  dead outnumber the living 4:1 (so ``pending`` is O(1) and memory
+  stays bounded even when cancelled events sit far in the future).
+- **Handle reuse** (:meth:`Engine.reschedule`): a fired handle can be
+  re-armed in place — the :class:`repro.sim.timers.IntervalTimer` and
+  :class:`repro.sim.sync.PeriodicRouter` re-arm paths allocate zero
+  objects per period.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from typing import Any, Callable, List, Optional
+from heapq import heappop, heappush
+from typing import Any, Callable, Dict, List, Optional
 
 __all__ = ["Engine", "EventHandle", "SimulationError"]
+
+#: Compaction trigger: sweep when at least this many dead handles have
+#: accumulated *and* they outnumber the live ones 4:1.  Dead entries
+#: that the clock will soon reach are cheapest to discard during the
+#: drain itself (an attribute check — no heap operation), so compaction
+#: only exists to bound memory when cancelled events sit far in the
+#: future; the high ratio keeps steady-state cancel churn (hold-timer
+#: resets, MRAI re-arms) from ever paying for sweeps.
+_COMPACT_MIN_DEAD = 64
 
 
 class SimulationError(RuntimeError):
@@ -21,26 +66,51 @@ class SimulationError(RuntimeError):
 
 
 class EventHandle:
-    """A scheduled event; supports cancellation."""
+    """A scheduled event; supports cancellation and (engine-mediated)
+    re-arming via :meth:`Engine.reschedule`."""
 
-    __slots__ = ("time", "callback", "args", "cancelled", "seq")
+    __slots__ = ("time", "callback", "args", "cancelled", "fired", "seq", "engine")
 
     def __init__(
-        self, time: float, seq: int, callback: Callable, args: tuple
+        self,
+        time: float,
+        seq: int,
+        callback: Callable,
+        args: tuple,
+        engine: Optional["Engine"] = None,
     ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.fired = False
+        self.engine = engine
 
     def cancel(self) -> None:
         """Prevent the event from firing (O(1); the queue entry is
-        skipped when popped)."""
+        skipped when drained, and compacted away if dead entries pile
+        up)."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        engine = self.engine
+        if engine is not None:
+            # Inlined Engine._note_cancel (hold-timer resets make this
+            # a hot path).
+            engine._live -= 1
+            dead = engine._dead + 1
+            engine._dead = dead
+            if dead >= _COMPACT_MIN_DEAD and dead > (engine._live << 2):
+                engine._compact()
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
+
+
+#: Allocation fast path for the engine's schedule methods: slot stores
+#: on a bare instance, skipping the ``__init__`` call frame.
+_new_handle = EventHandle.__new__
 
 
 class Engine:
@@ -58,10 +128,32 @@ class Engine:
     10.0
     """
 
+    __slots__ = (
+        "_now",
+        "_seq",
+        "_times",
+        "_buckets",
+        "_head_pos",
+        "_live",
+        "_dead",
+        "_in_drain",
+        "events_processed",
+    )
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = start_time
-        self._queue: List[EventHandle] = []
         self._seq = itertools.count()
+        #: Binary heap of *distinct* firing times (bare floats: C-level
+        #: comparisons).  May hold stale entries for retired buckets.
+        self._times: List[float] = []
+        #: time -> FIFO bucket; append order == seq order.
+        self._buckets: Dict[float, List[EventHandle]] = {}
+        #: Drain cursor into the earliest bucket (events scheduled *at*
+        #: the current instant append behind it and still fire in order).
+        self._head_pos = 0
+        self._live = 0
+        self._dead = 0
+        self._in_drain = False
         self.events_processed = 0
 
     @property
@@ -77,7 +169,23 @@ class Engine:
         """Schedule ``callback(*args)`` after ``delay`` seconds."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.schedule_at(self._now + delay, callback, *args)
+        time = self._now + delay
+        handle = _new_handle(EventHandle)
+        handle.time = time
+        handle.seq = next(self._seq)
+        handle.callback = callback
+        handle.args = args
+        handle.cancelled = False
+        handle.fired = False
+        handle.engine = self
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [handle]
+            heappush(self._times, time)
+        else:
+            bucket.append(handle)
+        self._live += 1
+        return handle
 
     def schedule_at(
         self, time: float, callback: Callable, *args: Any
@@ -87,66 +195,201 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at {time} before now ({self._now})"
             )
-        handle = EventHandle(time, next(self._seq), callback, args)
-        heapq.heappush(self._queue, handle)
+        handle = _new_handle(EventHandle)
+        handle.time = time
+        handle.seq = next(self._seq)
+        handle.callback = callback
+        handle.args = args
+        handle.cancelled = False
+        handle.fired = False
+        handle.engine = self
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [handle]
+            heappush(self._times, time)
+        else:
+            bucket.append(handle)
+        self._live += 1
         return handle
+
+    def reschedule(self, handle: EventHandle, time: float) -> EventHandle:
+        """Re-arm ``handle`` at ``time``, reusing the object when it has
+        already fired (the periodic-timer fast path — no allocation).
+
+        Falls back to a fresh :meth:`schedule_at` when the handle is
+        still pending or was cancelled — the pending event is left
+        untouched, so callers may hold one handle per logical timer and
+        re-arm unconditionally.  Returns the handle actually queued.
+        """
+        # A fired handle can never also be cancelled (cancel() no-ops
+        # once fired), so two checks suffice.
+        if handle.fired and handle.engine is self:
+            if time < self._now:
+                raise SimulationError(
+                    f"cannot schedule at {time} before now ({self._now})"
+                )
+            # No new seq: ordering is positional (bucket append order),
+            # so a reused handle keeps its original allocation seq.
+            handle.fired = False
+            handle.time = time
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                self._buckets[time] = [handle]
+                heappush(self._times, time)
+            else:
+                bucket.append(handle)
+            self._live += 1
+            return handle
+        return self.schedule_at(time, handle.callback, *handle.args)
 
     # -- execution ---------------------------------------------------------------
 
     def step(self) -> bool:
         """Process the next pending event; False if the queue is empty."""
-        while self._queue:
-            handle = heapq.heappop(self._queue)
-            if handle.cancelled:
-                continue
-            self._now = handle.time
-            handle.callback(*handle.args)
-            self.events_processed += 1
-            return True
-        return False
+        return self._service_head(float("inf"), 1) > 0
 
     def run_until(self, end_time: float, max_events: Optional[int] = None) -> int:
         """Run events with time <= ``end_time``; advance the clock to
         ``end_time``.  Returns the number of events processed."""
-        processed = 0
-        while self._queue and (max_events is None or processed < max_events):
-            head = self._queue[0]
-            if head.cancelled:
-                heapq.heappop(self._queue)
-                continue
-            if head.time > end_time:
-                break
-            self.step()
-            processed += 1
+        limit = float("inf") if max_events is None else max_events
+        processed = self._service_head(end_time, limit)
         if self._now < end_time:
             self._now = end_time
         return processed
 
     def run(self, max_events: Optional[int] = None) -> int:
         """Run until the queue drains (or ``max_events``)."""
-        processed = 0
-        while self.step():
-            processed += 1
-            if max_events is not None and processed >= max_events:
-                break
-        return processed
+        limit = float("inf") if max_events is None else max_events
+        return self._service_head(float("inf"), limit)
+
+    def _service_head(self, end_time: float, limit: float) -> int:
+        """Drain live events with ``time <= end_time``, at most ``limit``
+        of them, in (time, seq) order.  The single home of the
+        cancelled-skip logic (cancelled entries never count against
+        ``limit``), shared by :meth:`step`, :meth:`run`, and
+        :meth:`run_until` so the paths cannot drift.
+        """
+        times = self._times
+        buckets = self._buckets
+        fired = 0
+        was_draining = self._in_drain
+        self._in_drain = True
+        try:
+            while times and fired < limit:
+                time = times[0]
+                if time > end_time:
+                    break
+                bucket = buckets.get(time)
+                if bucket is None:
+                    # Stale heap entry (bucket emptied by compaction or
+                    # retired by next_event_time).
+                    heappop(times)
+                    self._head_pos = 0
+                    continue
+                i = self._head_pos
+                try:
+                    # Callbacks may append same-instant events to this
+                    # very bucket; len() is re-read so they drain in
+                    # this pass.  The cursor is synced before each
+                    # callback (for reentrant ``next_event_time``) and
+                    # on every exit path via ``finally``; cancelled
+                    # skips between callbacks don't pay a store.
+                    while i < len(bucket) and fired < limit:
+                        handle = bucket[i]
+                        i += 1
+                        if handle.cancelled:
+                            self._dead -= 1
+                            continue
+                        handle.fired = True
+                        self._live -= 1
+                        self._now = time
+                        self._head_pos = i
+                        args = handle.args
+                        if args:
+                            handle.callback(*args)
+                        else:
+                            handle.callback()
+                        fired += 1
+                finally:
+                    self._head_pos = i
+                if i < len(bucket):
+                    break  # limit hit mid-bucket; cursor persists
+                self._retire_head(time, bucket)
+        finally:
+            self._in_drain = was_draining
+        self.events_processed += fired
+        return fired
+
+    def _retire_head(self, time: float, bucket: List[EventHandle]) -> None:
+        """Drop a fully drained head bucket and its heap entry."""
+        if self._buckets.get(time) is bucket:
+            del self._buckets[time]
+            if self._times and self._times[0] == time:
+                heappop(self._times)
+        self._head_pos = 0
+
+    # -- cancellation bookkeeping ---------------------------------------------
+
+    def _compact(self) -> None:
+        """Sweep cancelled handles out of non-head buckets.  Emptied
+        buckets are deleted; their heap entries go stale and are
+        discarded lazily by :meth:`_service_head`."""
+        buckets = self._buckets
+        head = buckets.get(self._times[0]) if self._times else None
+        removed = 0
+        for time in list(buckets):
+            bucket = buckets[time]
+            if bucket is head:
+                continue  # the drain cursor may point into it
+            live = [h for h in bucket if not h.cancelled]
+            dropped = len(bucket) - len(live)
+            if not dropped:
+                continue
+            removed += dropped
+            if live:
+                bucket[:] = live
+            else:
+                del buckets[time]
+        self._dead -= removed
+
+    # -- introspection --------------------------------------------------------
 
     @property
     def pending(self) -> int:
-        """Events still queued (including cancelled placeholders)."""
-        return sum(1 for h in self._queue if not h.cancelled)
+        """Live (non-cancelled) events still queued.  O(1)."""
+        return self._live
 
     def next_event_time(self) -> Optional[float]:
         """When the next live event fires, or None.
 
-        O(1) amortized: peeks the heap head, lazily discarding
-        cancelled entries (each cancelled event is popped once ever).
+        O(1) amortized: peeks the earliest bucket, lazily retiring
+        buckets whose remaining entries are all cancelled.  During an
+        active drain the structure is left untouched (read-only scan).
         """
-        queue = self._queue
-        while queue:
-            head = queue[0]
-            if head.cancelled:
-                heapq.heappop(queue)
+        times = self._times
+        buckets = self._buckets
+        if self._in_drain:
+            # A callback is asking mid-drain: scan without mutating the
+            # structures the drain loop is iterating.
+            for time in sorted(times):
+                bucket = buckets.get(time)
+                if bucket is None:
+                    continue
+                start = self._head_pos if time == times[0] else 0
+                for handle in bucket[start:]:
+                    if not handle.cancelled:
+                        return time
+            return None
+        while times:
+            time = times[0]
+            bucket = buckets.get(time)
+            if bucket is None:
+                heappop(times)
+                self._head_pos = 0
                 continue
-            return head.time
+            for handle in bucket[self._head_pos:]:
+                if not handle.cancelled:
+                    return time
+            self._dead -= len(bucket) - self._head_pos
+            self._retire_head(time, bucket)
         return None

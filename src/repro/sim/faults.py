@@ -39,6 +39,8 @@ __all__ = [
 class PoissonLinkFlapper:
     """Fail and repair links at exponentially-distributed intervals."""
 
+    __slots__ = ("engine", "links", "mttf", "mttr", "rng", "flap_count", "_running")
+
     def __init__(
         self,
         engine: Engine,
@@ -90,6 +92,17 @@ class CustomerFlapGenerator:
     :mod:`repro.workloads.diurnal`) to make instability track network
     usage, the correlation of §5.1.
     """
+
+    __slots__ = (
+        "engine",
+        "router",
+        "base_rate",
+        "intensity",
+        "outage_duration",
+        "rng",
+        "flap_count",
+        "_running",
+    )
 
     def __init__(
         self,
@@ -149,6 +162,15 @@ class MaintenanceWindow:
     Figure 3.
     """
 
+    __slots__ = (
+        "engine",
+        "router",
+        "time_of_day",
+        "sessions_to_bounce",
+        "rng",
+        "bounce_count",
+    )
+
     def __init__(
         self,
         engine: Engine,
@@ -200,6 +222,17 @@ class MisconfiguredProvider:
     a set of foreign prefixes straight onto its sessions — modelling
     the buggy hardware/software the operators later confirmed.
     """
+
+    __slots__ = (
+        "engine",
+        "router",
+        "foreign_prefixes",
+        "period",
+        "batch_size",
+        "rng",
+        "withdrawals_emitted",
+        "_running",
+    )
 
     def __init__(
         self,

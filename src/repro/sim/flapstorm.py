@@ -32,7 +32,7 @@ from .router import CpuModel, Router, connect
 __all__ = ["FlapStormScenario", "StormResult"]
 
 
-@dataclass
+@dataclass(slots=True)
 class StormResult:
     """What a storm run produced."""
 
@@ -66,7 +66,12 @@ class FlapStormScenario:
         When True keepalives bypass the CPU queue.
     hold_time:
         Session hold time; shorter means less tolerance for delay.
+    engine:
+        Optional scheduler to run on (the differential benchmark passes
+        the reference heap engine); a fresh :class:`Engine` by default.
     """
+
+    __slots__ = ("engine", "cpu", "keepalive_priority", "rng", "routers")
 
     def __init__(
         self,
@@ -77,8 +82,9 @@ class FlapStormScenario:
         hold_time: float = 30.0,
         mrai_interval: float = 5.0,
         seed: int = 0,
+        engine: Optional[Engine] = None,
     ) -> None:
-        self.engine = Engine()
+        self.engine = engine if engine is not None else Engine()
         self.cpu = cpu or CpuModel(per_update=0.02, per_sent_update=0.01)
         self.keepalive_priority = keepalive_priority
         self.rng = random.Random(seed)
@@ -93,10 +99,9 @@ class FlapStormScenario:
                 hold_time=hold_time,
                 mrai_interval=mrai_interval,
                 mrai_jitter=0.25,
+                keepalive_priority=keepalive_priority,
                 rng=random.Random(seed + i),
             )
-            if keepalive_priority:
-                self._prioritize_keepalives(router)
             self.routers.append(router)
         # Originations: distinct /24s per router.
         prefix_index = 0
@@ -108,22 +113,6 @@ class FlapStormScenario:
         for i, a in enumerate(self.routers):
             for b in self.routers[i + 1:]:
                 connect(a, b)
-
-    def _prioritize_keepalives(self, router: Router) -> None:
-        """Patch the router so keepalive work bypasses the CPU queue."""
-        original = router._run_actions
-
-        def prioritized(peer_id, actions):
-            from ..bgp.session import ActionKind
-
-            for action in actions:
-                if action.kind is ActionKind.SEND_KEEPALIVE:
-                    router.keepalives_sent += 1
-                    router._transmit(peer_id, action.message)
-                else:
-                    original(peer_id, [action])
-
-        router._run_actions = prioritized
 
     # -- running ------------------------------------------------------------
 

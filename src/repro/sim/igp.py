@@ -50,7 +50,7 @@ class RouteSource(Enum):
     REDISTRIBUTED = auto()   #: injected from BGP
 
 
-@dataclass
+@dataclass(slots=True)
 class _IgpEntry:
     source: RouteSource
     metric: int
@@ -63,6 +63,8 @@ class IgpTable:
     (the misconfiguration leaves it *better* than native routes, which
     is what makes the displacement in step 2 happen).
     """
+
+    __slots__ = ("bgp_metric", "native_metric", "_entries", "_native")
 
     def __init__(self, bgp_metric: int = 1, native_metric: int = 10) -> None:
         self.bgp_metric = bgp_metric
@@ -124,6 +126,16 @@ class IgpBgpRedistribution:
     loop and the oscillation stops after one settling tick — the ablation
     contrast for the misconfiguration study.
     """
+
+    __slots__ = (
+        "engine",
+        "router",
+        "igp",
+        "filtered",
+        "oscillation_count",
+        "_originating",
+        "timer",
+    )
 
     def __init__(
         self,

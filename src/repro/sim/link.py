@@ -24,6 +24,25 @@ from .engine import Engine, EventHandle
 __all__ = ["Link", "CsuLink"]
 
 
+class _Endpoint:
+    """One attached side of a link: identity plus delivery/up/down
+    callbacks."""
+
+    __slots__ = ("id", "deliver", "on_up", "on_down")
+
+    def __init__(
+        self,
+        endpoint_id: int,
+        deliver: Callable[[int, object], None],
+        on_up: Optional[Callable[[], None]],
+        on_down: Optional[Callable[[], None]],
+    ) -> None:
+        self.id = endpoint_id
+        self.deliver = deliver
+        self.on_up = on_up
+        self.on_down = on_down
+
+
 class Link:
     """A bidirectional point-to-point link.
 
@@ -36,8 +55,26 @@ class Link:
     inside the simulator (and byte counters for capacity studies), at
     a CPU cost.  The default object-passing mode is semantically
     identical because the codec round-trips exactly (property-tested
-    in ``tests/test_wire.py``).
+    in ``tests/test_wire.py``).  Serialization goes through the
+    memoized codec (:func:`repro.bgp.wire.encode_message_cached`):
+    table dumps and flap storms re-send identical UPDATEs per peer, so
+    repeat encodes are a dict hit.
     """
+
+    __slots__ = (
+        "engine",
+        "delay",
+        "wire",
+        "is_up",
+        "_endpoints",
+        "_in_flight",
+        "_encode",
+        "_decode",
+        "messages_delivered",
+        "messages_lost",
+        "bytes_carried",
+        "down_count",
+    )
 
     def __init__(
         self, engine: Engine, delay: float = 0.01, wire: bool = False
@@ -48,8 +85,16 @@ class Link:
         self.delay = delay
         self.wire = wire
         self.is_up = True
-        self._endpoints: List[dict] = []
+        self._endpoints: List[_Endpoint] = []
         self._in_flight: List[EventHandle] = []
+        if wire:
+            from ..bgp.wire import decode_message_cached, encode_message_cached
+
+            self._encode = encode_message_cached
+            self._decode = decode_message_cached
+        else:
+            self._encode = None
+            self._decode = None
         self.messages_delivered = 0
         self.messages_lost = 0
         self.bytes_carried = 0
@@ -67,12 +112,7 @@ class Link:
         if len(self._endpoints) >= 2:
             raise ValueError("point-to-point link already has two endpoints")
         self._endpoints.append(
-            {
-                "id": endpoint_id,
-                "deliver": deliver,
-                "on_up": on_up,
-                "on_down": on_down,
-            }
+            _Endpoint(endpoint_id, deliver, on_up, on_down)
         )
 
     def send(self, sender_id: int, message: object) -> bool:
@@ -84,9 +124,7 @@ class Link:
             self.messages_lost += 1
             return False
         if self.wire:
-            from ..bgp.wire import encode_message
-
-            message = encode_message(message)
+            message = self._encode(message)
             self.bytes_carried += len(message)
         receiver = self._other(sender_id)
         handle = self.engine.schedule(
@@ -96,46 +134,55 @@ class Link:
         if len(self._in_flight) > 256:
             # Compact delivered/cancelled entries so long simulations
             # don't accumulate dead handles.
-            now = self.engine.now
             self._in_flight = [
                 h for h in self._in_flight
-                if not h.cancelled and h.time > now
+                if not h.cancelled and not h.fired
             ]
         return True
 
-    def _deliver(self, receiver: dict, sender_id: int, message: object) -> None:
+    def _deliver(
+        self, receiver: _Endpoint, sender_id: int, message: object
+    ) -> None:
         # Link may have dropped while the message was in flight.
         if not self.is_up:
             self.messages_lost += 1
             return
         self.messages_delivered += 1
         if self.wire:
-            from ..bgp.wire import decode_message
+            message, _ = self._decode(message)
+        receiver.deliver(sender_id, message)
 
-            message, _ = decode_message(message)
-        receiver["deliver"](sender_id, message)
-
-    def _other(self, endpoint_id: int) -> dict:
+    def _other(self, endpoint_id: int) -> _Endpoint:
         for endpoint in self._endpoints:
-            if endpoint["id"] != endpoint_id:
+            if endpoint.id != endpoint_id:
                 return endpoint
         raise ValueError(f"endpoint {endpoint_id} not attached to link")
 
     # -- state changes -----------------------------------------------------
 
     def go_down(self) -> None:
-        """Drop the link: lose in-flight traffic, notify endpoints."""
+        """Drop the link: lose in-flight traffic, notify endpoints.
+
+        Only handles that have neither fired (message already
+        delivered) nor been cancelled count as lost — ``_in_flight``
+        keeps delivered handles around until the >256 compaction, and
+        counting those double-booked ``messages_lost``.
+        """
         if not self.is_up:
             return
         self.is_up = False
         self.down_count += 1
+        lost = 0
         for handle in self._in_flight:
+            if handle.fired or handle.cancelled:
+                continue
             handle.cancel()
-        self.messages_lost += len(self._in_flight)
+            lost += 1
+        self.messages_lost += lost
         self._in_flight.clear()
         for endpoint in self._endpoints:
-            if endpoint["on_down"] is not None:
-                endpoint["on_down"]()
+            if endpoint.on_down is not None:
+                endpoint.on_down()
 
     def go_up(self) -> None:
         """Restore the link and notify endpoints."""
@@ -143,8 +190,8 @@ class Link:
             return
         self.is_up = True
         for endpoint in self._endpoints:
-            if endpoint["on_up"] is not None:
-                endpoint["on_up"]()
+            if endpoint.on_up is not None:
+                endpoint.on_up()
 
 
 class CsuLink(Link):
@@ -159,6 +206,8 @@ class CsuLink(Link):
     Defaults give a 60-second dominant cycle — one of the two
     periodicities in Figure 8.
     """
+
+    __slots__ = ("up_duration", "down_duration", "noise", "rng", "_oscillating")
 
     def __init__(
         self,

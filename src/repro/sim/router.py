@@ -36,7 +36,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from ..bgp.attributes import AsPath, PathAttributes
+from ..bgp.attributes import AsPath, PathAttributes, interned
 from ..bgp.damping import RouteFlapDamper
 from ..bgp.messages import (
     KeepAliveMessage,
@@ -58,7 +58,7 @@ __all__ = ["Router", "CpuModel", "RouteCache", "connect"]
 LOCAL_PEER = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class CpuModel:
     """Per-operation CPU costs (seconds) for the serial work queue.
 
@@ -74,7 +74,7 @@ class CpuModel:
     per_dump_route: float = 0.001     #: table-dump marshalling per route
 
 
-@dataclass
+@dataclass(slots=True)
 class RouteCache:
     """A route-caching line card (§3 of the paper).
 
@@ -143,7 +143,51 @@ class Router:
         CPU work-queue depth that crashes the router (None = never).
     reboot_delay:
         Seconds a crashed router stays dark before rebooting.
+    keepalive_priority:
+        The modern-router fix: "BGP traffic is given a higher priority
+        and Keep-Alive messages persist even under heavy instability."
+        When True keepalive transmission bypasses the CPU queue.
     """
+
+    __slots__ = (
+        "engine",
+        "asn",
+        "router_id",
+        "name",
+        "stateless_bgp",
+        "hold_time",
+        "cpu",
+        "cache",
+        "damper",
+        "import_policy",
+        "export_policy",
+        "crash_queue_limit",
+        "reboot_delay",
+        "restart_delay",
+        "keepalive_priority",
+        "rng",
+        "loc_rib",
+        "adj_out",
+        "sessions",
+        "links",
+        "peer_asns",
+        "_origins",
+        "_suppressed",
+        "_wakeups",
+        "_aggregates",
+        "batcher",
+        "crashed",
+        "crash_count",
+        "_busy_until",
+        "_queue_depth",
+        "_reuse_poll_armed",
+        "updates_received",
+        "updates_sent",
+        "announcements_sent",
+        "withdrawals_sent",
+        "keepalives_sent",
+        "suppressed_outputs",
+    )
 
     def __init__(
         self,
@@ -163,6 +207,7 @@ class Router:
         crash_queue_limit: Optional[int] = None,
         reboot_delay: float = 60.0,
         restart_delay: float = 5.0,
+        keepalive_priority: bool = False,
         rng: Optional[random.Random] = None,
         name: str = "",
     ) -> None:
@@ -180,7 +225,9 @@ class Router:
         self.crash_queue_limit = crash_queue_limit
         self.reboot_delay = reboot_delay
         self.restart_delay = restart_delay
+        self.keepalive_priority = keepalive_priority
         self.rng = rng or random.Random(router_id)
+        self._reuse_poll_armed = False
 
         self.loc_rib = LocRib()
         self.adj_out = AdjRibOut()
@@ -441,9 +488,16 @@ class Router:
             if action.kind is ActionKind.SEND_OPEN:
                 self._transmit(peer_id, action.message, cost=0.0)
             elif action.kind is ActionKind.SEND_KEEPALIVE:
-                cost = self.cpu.per_keepalive if self.cpu else 0.0
                 self.keepalives_sent += 1
-                self._cpu_submit(cost, self._transmit, peer_id, action.message, 0.0)
+                if self.keepalive_priority:
+                    # Keepalives bypass the CPU queue entirely, so they
+                    # persist under update storms (the vendors' fix).
+                    self._transmit(peer_id, action.message)
+                else:
+                    cost = self.cpu.per_keepalive if self.cpu else 0.0
+                    self._cpu_submit(
+                        cost, self._transmit, peer_id, action.message, 0.0
+                    )
             elif action.kind is ActionKind.SEND_NOTIFICATION:
                 self._transmit(peer_id, action.message, cost=0.0)
             elif action.kind is ActionKind.SESSION_UP:
@@ -605,8 +659,6 @@ class Router:
 
     # -- damping reuse polling --------------------------------------------
 
-    _reuse_poll_armed = False
-
     def _ensure_reuse_poll(self) -> None:
         if not self._reuse_poll_armed:
             self._reuse_poll_armed = True
@@ -667,7 +719,7 @@ class Router:
             exported = self._aggregate_attributes(prefix)
             if self.export_policy is not None:
                 exported = self.export_policy.evaluate(prefix, exported)
-            return exported
+            return None if exported is None else interned(exported)
         if self._covering_aggregate(prefix) is not None:
             return None  # components stay inside the AS
         best = self.loc_rib.best(prefix)
@@ -678,7 +730,7 @@ class Router:
         )
         if self.export_policy is not None:
             exported = self.export_policy.evaluate(prefix, exported)
-        return exported
+        return None if exported is None else interned(exported)
 
     def _flush(self, dirty: Set[Prefix]) -> None:
         """MRAI expiry: advertise current state of dirty prefixes."""

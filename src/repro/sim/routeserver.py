@@ -43,6 +43,14 @@ class RouteServer(Router):
     ``readvertise`` mode.
     """
 
+    __slots__ = (
+        "sink",
+        "readvertise",
+        "client_policies",
+        "records_logged",
+        "session_events",
+    )
+
     def __init__(
         self,
         engine: Engine,

@@ -37,7 +37,23 @@ class IntervalTimer:
     ``jitter`` is the fractional shortening range: 0.0 gives exact
     periods (the pathological unjittered discipline); 0.25 gives the
     recommended ``uniform(0.75, 1.0) * interval``.
+
+    Re-arming goes through :meth:`Engine.reschedule`, which reuses the
+    just-fired :class:`EventHandle` — a long-lived timer allocates one
+    handle total, not one per period.
     """
+
+    __slots__ = (
+        "engine",
+        "interval",
+        "callback",
+        "jitter",
+        "rng",
+        "phase",
+        "fire_count",
+        "_handle",
+        "_running",
+    )
 
     def __init__(
         self,
@@ -83,17 +99,25 @@ class IntervalTimer:
         return self.rng.uniform(low, self.interval)
 
     def _arm(self) -> None:
-        now = self.engine.now
+        engine = self.engine
+        interval = self.interval
+        now = engine.now
         if self.jitter == 0.0:
             # Phase-locked: fire at phase + k*interval, the discipline
-            # that lets independent routers share firing instants.
-            k = int((now - self.phase) // self.interval) + 1
-            next_time = self.phase + k * self.interval
+            # that lets independent routers share firing instants.  The
+            # quotient of a float floor-division is integral, so it can
+            # stay a float.
+            phase = self.phase
+            next_time = phase + ((now - phase) // interval + 1.0) * interval
             if next_time <= now:
-                next_time += self.interval
-            self._handle = self.engine.schedule_at(next_time, self._fire)
+                next_time += interval
         else:
-            self._handle = self.engine.schedule(self._next_period(), self._fire)
+            next_time = now + self._next_period()
+        handle = self._handle
+        if handle is None:
+            self._handle = engine.schedule_at(next_time, self._fire)
+        else:
+            self._handle = engine.reschedule(handle, next_time)
 
     def _fire(self) -> None:
         if not self._running:
@@ -101,7 +125,31 @@ class IntervalTimer:
         self.fire_count += 1
         self.callback()
         if self._running:
-            self._arm()
+            # Re-arm inline (keep in sync with :meth:`_arm`): this is
+            # the per-period hot path — a handle-reusing
+            # ``Engine.reschedule`` with no intermediate call frame.
+            engine = self.engine
+            interval = self.interval
+            now = engine._now
+            handle = self._handle
+            if self.jitter == 0.0:
+                if handle is not None and handle.time == now:
+                    # The overwhelmingly common case: re-arming from our
+                    # own on-grid firing instant.
+                    next_time = now + interval
+                else:
+                    phase = self.phase
+                    next_time = (
+                        phase + ((now - phase) // interval + 1.0) * interval
+                    )
+                    if next_time <= now:
+                        next_time += interval
+            else:
+                next_time = now + self._next_period()
+            if handle is None:
+                self._handle = engine.schedule_at(next_time, self._fire)
+            else:
+                self._handle = engine.reschedule(handle, next_time)
 
     @property
     def is_running(self) -> bool:
@@ -122,6 +170,8 @@ class MraiBatcher:
     *current* table state.  That lost intermediate history is exactly
     the A1,A2,A1 → duplicate mechanism of §4.2.
     """
+
+    __slots__ = ("_dirty", "_flush", "timer", "flush_count")
 
     def __init__(
         self,

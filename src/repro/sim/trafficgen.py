@@ -36,7 +36,7 @@ from .router import Router
 __all__ = ["TrafficStats", "ForwardingWorkload"]
 
 
-@dataclass
+@dataclass(slots=True)
 class TrafficStats:
     """Outcome counters for a forwarding workload."""
 
@@ -70,6 +70,18 @@ class TrafficStats:
 
 class ForwardingWorkload:
     """A Poisson packet stream through one router (see module doc)."""
+
+    __slots__ = (
+        "engine",
+        "router",
+        "destinations",
+        "rate",
+        "slow_path_cost",
+        "drop_backlog",
+        "rng",
+        "stats",
+        "_running",
+    )
 
     def __init__(
         self,

@@ -90,6 +90,105 @@ class TestEngine:
         assert engine.run(max_events=4) == 4
         assert engine.pending == 6
 
+    def test_step_skips_cancelled(self):
+        engine = Engine()
+        fired = []
+        doomed = engine.schedule(1.0, fired.append, "dead")
+        engine.schedule(2.0, fired.append, "b")
+        doomed.cancel()
+        assert engine.step()
+        assert fired == ["b"]
+        assert engine.now == 2.0
+
+    def test_run_until_max_events_skips_cancelled(self):
+        # Cancelled entries at the head of the queue must not count
+        # against max_events (they were never events, just husks).
+        engine = Engine()
+        fired = []
+        doomed = [engine.schedule(1.0, fired.append, "dead") for _ in range(5)]
+        engine.schedule(1.0, fired.append, "a")
+        engine.schedule(2.0, fired.append, "b")
+        for handle in doomed:
+            handle.cancel()
+        assert engine.run_until(10.0, max_events=2) == 2
+        assert fired == ["a", "b"]
+
+    def test_reschedule_reuses_fired_handle(self):
+        engine = Engine()
+        fired = []
+        handle = engine.schedule(1.0, fired.append, "x")
+        engine.run()
+        assert handle.fired
+        again = engine.reschedule(handle, 2.0)
+        assert again is handle  # the zero-allocation re-arm path
+        assert not handle.fired
+        assert handle.time == 2.0
+        engine.run()
+        assert fired == ["x", "x"]
+        assert engine.now == 2.0
+
+    def test_reschedule_pending_handle_left_untouched(self):
+        # Re-arming a still-pending handle must not move it: the caller
+        # gets a fresh handle and both events fire.
+        engine = Engine()
+        fired = []
+        handle = engine.schedule(1.0, fired.append, "x")
+        other = engine.reschedule(handle, 3.0)
+        assert other is not handle
+        assert handle.time == 1.0
+        engine.run()
+        assert fired == ["x", "x"]
+
+    def test_reschedule_rejects_past(self):
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.reschedule(handle, 0.5)
+
+    def test_compaction_preserves_order_after_mass_cancel(self):
+        # Cancel enough to trigger the dead-sweep (dead > 4x live) and
+        # check the survivors still fire in exact (time, seq) order.
+        engine = Engine()
+        fired = []
+        handles = [
+            engine.schedule(float(i % 40), fired.append, i)
+            for i in range(600)
+        ]
+        for i, handle in enumerate(handles):
+            if i % 30 != 0:
+                handle.cancel()
+        survivors = [i for i in range(600) if i % 30 == 0]
+        assert engine.pending == len(survivors)
+        engine.run()
+        assert fired == sorted(survivors, key=lambda i: (i % 40, i))
+
+    def test_same_instant_scheduling_during_drain(self):
+        # Zero-delay events appended mid-bucket drain in the same pass.
+        engine = Engine()
+        fired = []
+
+        def spawn(n):
+            fired.append(n)
+            if n < 3:
+                engine.schedule(0.0, spawn, n + 1)
+
+        engine.schedule(5.0, spawn, 0)
+        engine.run()
+        assert fired == [0, 1, 2, 3]
+        assert engine.now == 5.0
+
+    def test_next_event_time_reentrant_during_drain(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(1.0, lambda: seen.append(engine.next_event_time()))
+        engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: seen.append(engine.next_event_time()))
+        engine.schedule(4.0, lambda: None)
+        engine.run()
+        # First probe sees its same-instant sibling; second sees 4.0.
+        assert seen == [1.0, 4.0]
+
 
 class TestIntervalTimer:
     def test_unjittered_fires_on_exact_multiples(self):
@@ -254,6 +353,38 @@ class TestLink:
         link.go_up()
         assert events == ["down1", "down2", "up1"]
         assert link.down_count == 1
+
+    def test_down_does_not_recount_delivered(self):
+        # Regression: _in_flight keeps delivered (fired) handles around
+        # until the >256 compaction; go_down() must not book them as
+        # lost a second time.
+        engine = Engine()
+        log = []
+        link = Link(engine, delay=0.5)
+        link.attach(1, lambda s, m: log.append(m))
+        link.attach(2, lambda s, m: log.append(m))
+        link.send(1, "m1")
+        engine.run()
+        assert log == ["m1"]
+        link.go_down()
+        assert link.messages_lost == 0
+        assert link.messages_delivered == 1
+
+    def test_down_counts_only_pending_in_flight(self):
+        engine = Engine()
+        log = []
+        link = Link(engine, delay=1.0)
+        link.attach(1, lambda s, m: log.append(m))
+        link.attach(2, lambda s, m: log.append(m))
+        link.send(1, "delivered")
+        engine.run()
+        link.send(2, "doomed-a")
+        link.send(1, "doomed-b")
+        link.go_down()
+        assert link.messages_lost == 2
+        assert link.messages_delivered == 1
+        engine.run()
+        assert log == ["delivered"]
 
     def test_third_endpoint_rejected(self):
         engine = Engine()

@@ -12,7 +12,18 @@ per-worker wall-clock + speedups (and the machine's CPU count) to
 ``BENCH_campaign.json``.  The >=1.7x speedup-at-4-workers bar is
 enforced only when the machine actually has >= 4 CPUs — on fewer
 cores the pool cannot physically beat the inline run, so the file
-records the honest numbers and the bar is reported as not applicable.
+records the honest numbers and ``bar_skipped_reason`` says exactly
+why the bar did not apply (never silently).
+
+Campaign mode also probes the out-of-core tier: it runs a short and a
+long spilling campaign (``python -m repro campaign --out ...``) in
+subprocesses, measures each child's peak RSS via ``os.wait4``, and
+requires the long horizon's peak to stay within 1.25x of the short
+one — the flat-memory claim.  The long run's on-disk chunks are then
+resume-loaded and digest-compared against a from-scratch in-memory
+run; any mismatch fails the bench.  ``--rss-ceiling-mb`` adds an
+absolute ceiling (CI smoke), enforced even under ``--no-bar``; all
+failures are raised only after the JSON is written.
 
 ``--sim`` mode runs the discrete-event scheduler benchmark
 (``benchmarks/bench_sim.py``): three simulator scenarios on the
@@ -30,7 +41,11 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
+import sys
+import tempfile
 import time
+from dataclasses import replace
 from pathlib import Path
 
 from repro.analysis.timeseries import bin_records
@@ -138,6 +153,120 @@ def _available_cpus() -> int:
         return os.cpu_count() or 1
 
 
+def _spawn_campaign_rss(cli_args) -> float:
+    """Run ``python -m repro campaign`` in a child process and return
+    its peak RSS in MiB, measured by the kernel via ``os.wait4`` (the
+    max over the child and any pool workers it waited for)."""
+    src = Path(__file__).resolve().parent.parent / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    child = subprocess.Popen(
+        [sys.executable, "-m", "repro", "campaign", *cli_args],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    _, status, usage = os.wait4(child.pid, 0)
+    child.returncode = os.waitstatus_to_exitcode(status)
+    if child.returncode != 0:
+        raise SystemExit(
+            f"RSS probe campaign exited with {child.returncode}: "
+            f"repro campaign {' '.join(cli_args)}"
+        )
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    scale = 1 << 20 if sys.platform == "darwin" else 1 << 10
+    return usage.ru_maxrss * (scale / (1 << 20))
+
+
+def probe_out_of_core(args):
+    """Short vs long spilling campaign: peak-RSS ratio + digest parity
+    against the in-memory path.  Returns (payload, failures)."""
+    from repro.campaign import CampaignConfig, run_campaign
+
+    failures = []
+    shards = min(4, args.rss_base_days)
+    common = [
+        "--shards", str(shards),
+        "--workers", str(args.rss_workers),
+        "--seed", str(args.seed),
+        "--peers", str(args.peers),
+        "--prefixes", str(args.prefixes),
+    ]
+    with tempfile.TemporaryDirectory(prefix="bench-ooc-") as tmp:
+        short_out = os.path.join(tmp, "short")
+        long_out = os.path.join(tmp, "long")
+        print(f"Out-of-core probe: {args.rss_base_days}-day vs "
+              f"{args.rss_days}-day campaign, {args.rss_workers} "
+              f"worker(s), day chunks spilled to disk")
+        rss_short = _spawn_campaign_rss(
+            ["--days", str(args.rss_base_days), "--out", short_out, *common]
+        )
+        print(f"  {args.rss_base_days:3d} days: peak RSS {rss_short:7.1f} MiB")
+        rss_long = _spawn_campaign_rss(
+            ["--days", str(args.rss_days), "--out", long_out, *common]
+        )
+        print(f"  {args.rss_days:3d} days: peak RSS {rss_long:7.1f} MiB")
+        ratio = rss_long / rss_short
+        print(f"  RSS ratio: {ratio:.2f}x (flat-memory bar: 1.25x)")
+
+        # Digest parity: resume-load the long run's chunks (verifying
+        # every digest on the way in) and compare against a
+        # from-scratch in-memory run of the same config.
+        config = CampaignConfig(
+            days=args.rss_days,
+            seed=args.seed,
+            shards=shards,
+            n_peers=args.peers,
+            total_prefixes=args.prefixes,
+            out=long_out,
+        )
+        loaded = run_campaign(config, resume=True)
+        if loaded.shards_run:
+            failures.append(
+                f"resume-load of the out-of-core run recomputed "
+                f"{loaded.shards_run} shard(s); expected all "
+                f"{loaded.shards_loaded + loaded.shards_run} loaded"
+            )
+        in_memory = run_campaign(replace(config, out=None))
+        disk_digest = loaded.partial.digest()
+        memory_digest = in_memory.partial.digest()
+        parity = disk_digest == memory_digest
+        print(f"  digest parity vs in-memory: "
+              f"{'OK' if parity else 'MISMATCH'} ({disk_digest[:12]})")
+        if not parity:
+            failures.append(
+                f"out-of-core digest {disk_digest} != in-memory "
+                f"digest {memory_digest}"
+            )
+
+    rss_bar_applies = not args.no_bar
+    if rss_bar_applies and ratio > 1.25:
+        failures.append(
+            f"peak RSS grew {ratio:.2f}x from {args.rss_base_days} to "
+            f"{args.rss_days} days (flat-memory bar: 1.25x)"
+        )
+    if args.rss_ceiling_mb is not None and rss_long > args.rss_ceiling_mb:
+        failures.append(
+            f"long-run peak RSS {rss_long:.1f} MiB above the "
+            f"--rss-ceiling-mb {args.rss_ceiling_mb} MiB ceiling"
+        )
+    payload = {
+        "days_short": args.rss_base_days,
+        "days_long": args.rss_days,
+        "shards": shards,
+        "workers": args.rss_workers,
+        "peak_rss_mib_short": round(rss_short, 1),
+        "peak_rss_mib_long": round(rss_long, 1),
+        "rss_ratio": round(ratio, 3),
+        "rss_bar": "long-run peak RSS <= 1.25x the short run",
+        "rss_bar_enforced": rss_bar_applies,
+        "rss_ceiling_mb": args.rss_ceiling_mb,
+        "digest": disk_digest,
+        "digest_matches_in_memory": parity,
+    }
+    return payload, failures
+
+
 def run_campaign_bench(args) -> None:
     """Same campaign at 1/2/4 workers: identical digests, honest timings."""
     from repro.campaign import CampaignConfig, run_campaign
@@ -177,11 +306,31 @@ def run_campaign_bench(args) -> None:
     print(f"All {len(digests)} worker counts bit-identical "
           f"({records:,} records).")
 
+    failures = []
     speedup_4 = timings[1] / timings[4]
-    bar_applies = cpus >= 4 and not args.no_bar
+    if args.no_bar:
+        bar_skipped_reason = "--no-bar"
+    elif cpus < 4:
+        bar_skipped_reason = f"{cpus} CPU(s) < 4"
+    else:
+        bar_skipped_reason = None
+    bar_applies = bar_skipped_reason is None
     print(f"Speedup at 4 workers: {speedup_4:.2f}x "
-          f"(bar: 1.7x, {'enforced' if bar_applies else 'n/a — '}"
-          f"{'' if bar_applies else f'{cpus} CPU(s)'})")
+          f"(bar: 1.7x, "
+          f"{'enforced' if bar_applies else f'skipped: {bar_skipped_reason}'})")
+    if bar_applies and speedup_4 < 1.7:
+        failures.append(
+            f"speedup {speedup_4:.2f}x below the 1.7x bar on {cpus} CPUs"
+        )
+
+    out_of_core = None
+    if args.skip_rss:
+        print("Out-of-core RSS probe skipped (--skip-rss).")
+    elif not hasattr(os, "wait4"):
+        print("Out-of-core RSS probe skipped (no os.wait4 here).")
+    else:
+        out_of_core, rss_failures = probe_out_of_core(args)
+        failures.extend(rss_failures)
 
     payload = {
         "days": config.days,
@@ -202,13 +351,13 @@ def run_campaign_bench(args) -> None:
         "timing": "best (minimum) of repeats per worker count",
         "bar": "1.7x at 4 workers, enforced only with >= 4 CPUs",
         "bar_enforced": bar_applies,
+        "bar_skipped_reason": bar_skipped_reason,
+        "out_of_core": out_of_core,
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"Wrote {args.output}")
-    if bar_applies and speedup_4 < 1.7:
-        raise SystemExit(
-            f"speedup {speedup_4:.2f}x below the 1.7x bar on {cpus} CPUs"
-        )
+    if failures:
+        raise SystemExit("; ".join(failures))
 
 
 def main() -> None:
@@ -245,7 +394,32 @@ def main() -> None:
     parser.add_argument(
         "--no-bar", action="store_true",
         help="campaign mode: record numbers without enforcing the "
-             "speedup bar (CI smoke runs)",
+             "speedup / RSS-ratio bars (CI smoke runs; an explicit "
+             "--rss-ceiling-mb is still enforced)",
+    )
+    parser.add_argument(
+        "--skip-rss", action="store_true",
+        help="campaign mode: skip the out-of-core peak-RSS probe",
+    )
+    parser.add_argument(
+        "--rss-base-days", type=int, default=4,
+        help="campaign mode: short-horizon run the RSS ratio compares "
+             "against",
+    )
+    parser.add_argument(
+        "--rss-days", type=int, default=30,
+        help="campaign mode: long-horizon out-of-core run (the "
+             "flat-memory claim: its peak RSS must stay within 1.25x "
+             "of the short run's)",
+    )
+    parser.add_argument(
+        "--rss-workers", type=int, default=1,
+        help="campaign mode: worker count for the RSS probe runs",
+    )
+    parser.add_argument(
+        "--rss-ceiling-mb", type=float, default=None,
+        help="campaign mode: absolute peak-RSS ceiling for the long "
+             "out-of-core run, enforced even with --no-bar",
     )
     parser.add_argument("--output", default=None)
     args = parser.parse_args()

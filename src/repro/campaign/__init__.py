@@ -9,6 +9,8 @@ count, shard completion order, or kill/resume cycles.
 """
 
 from .config import CampaignConfig, ShardSpec
+from .fold import ShardAccumulator
+from .handoff import HandoffError, ShardHandoff
 from .manifest import CampaignLayout, ConfigMismatch
 from .results import CampaignResult, PartialResult, merge_partials
 from .runner import CampaignHooks, KillRun, run_campaign, run_shard
@@ -20,8 +22,11 @@ __all__ = [
     "CampaignHooks",
     "ConfigMismatch",
     "CampaignResult",
+    "HandoffError",
     "KillRun",
     "PartialResult",
+    "ShardAccumulator",
+    "ShardHandoff",
     "merge_partials",
     "run_campaign",
     "run_shard",

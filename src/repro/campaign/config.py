@@ -75,6 +75,17 @@ class ShardSpec:
             "generator_seed": self.generator_seed,
         }
 
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ShardSpec":
+        return cls(
+            index=int(payload["index"]),
+            exchange=payload["exchange"],
+            day_lo=int(payload["days"][0]),
+            day_hi=int(payload["days"][1]),
+            population_seed=int(payload["population_seed"]),
+            generator_seed=int(payload["generator_seed"]),
+        )
+
 
 @dataclass(frozen=True)
 class CampaignConfig:

@@ -1,0 +1,184 @@
+"""Zero-copy shard handoff: descriptors across the pool, not pickles.
+
+The original pool path returned each shard's full
+:class:`~repro.campaign.results.PartialResult` payload through
+``imap_unordered`` — a pickle of every aggregate, serialized in the
+worker, deserialized in the parent, scaling with shard size.  This
+module replaces that with a descriptor handoff: the worker publishes
+its canonical result payload out-of-band and returns only a small
+:class:`ShardHandoff` carrying counts, chunk descriptors, and a
+sha256; the parent collects the payload, verifies the digest, and
+folds it incrementally.
+
+Transports, picked automatically:
+
+- ``file``: the campaign has an output directory — the worker writes
+  the shard's result file itself (the same bytes the manifest will
+  digest), so the payload crosses processes via the filesystem.
+- ``shm``: in-memory campaigns — the payload bytes go into a
+  ``multiprocessing.shared_memory`` block the parent attaches, reads,
+  and unlinks; nothing but the descriptor crosses the pipe.
+- ``inline``: fallback when shared memory is unavailable (exotic
+  platforms); the bytes ride inside the descriptor.
+
+Digest verification happens in the parent for every transport, so a
+torn file or stray shared-memory write surfaces as
+:class:`HandoffError` instead of a silently wrong merge.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .config import ShardSpec, canonical_json, sha256_text
+from .manifest import CampaignLayout
+
+__all__ = ["HandoffError", "ShardHandoff", "publish_partial", "collect_partial"]
+
+
+class HandoffError(RuntimeError):
+    """A worker's published payload failed retrieval or digest check."""
+
+
+@dataclass(slots=True)
+class ShardHandoff:
+    """What a pool worker returns: a lightweight shard descriptor.
+
+    ``nbytes`` is the payload's UTF-8 length (shared-memory blocks are
+    page-rounded, so the parent must slice).  ``chunks`` carries the
+    per-day spill-chunk descriptors destined for the manifest.
+    """
+
+    index: int
+    records: int
+    result_sha256: str
+    nbytes: int
+    transport: str  # "file" | "shm" | "inline"
+    chunks: List[dict] = field(default_factory=list)
+    shm_name: Optional[str] = None
+    inline: Optional[bytes] = None
+
+
+def _publish_shm(blob: bytes) -> Optional[str]:
+    """Stash ``blob`` in a fresh shared-memory block; returns its name,
+    or None when shared memory is unusable (caller falls back)."""
+    try:
+        from multiprocessing import resource_tracker, shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=max(1, len(blob)))
+    except Exception:
+        return None
+    try:
+        shm.buf[: len(blob)] = blob
+        name = shm.name
+        shm.close()
+        try:
+            # The parent owns the block's lifetime (it unlinks after
+            # reading); stop this process's resource tracker from
+            # destroying it at worker exit.
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+        return name
+    except Exception:
+        try:
+            shm.close()
+            shm.unlink()
+        except Exception:
+            pass
+        return None
+
+
+def publish_partial(
+    spec: ShardSpec,
+    payload: dict,
+    records: int,
+    chunks: List[dict],
+    layout: Optional[CampaignLayout],
+) -> ShardHandoff:
+    """Worker side: persist/stash the payload, return its descriptor."""
+    text = canonical_json(payload)
+    sha256 = sha256_text(text)
+    if layout is not None:
+        layout.write_result(spec, text)
+        return ShardHandoff(
+            index=spec.index,
+            records=records,
+            result_sha256=sha256,
+            nbytes=len(text.encode("utf-8")),
+            transport="file",
+            chunks=chunks,
+        )
+    blob = text.encode("utf-8")
+    shm_name = _publish_shm(blob)
+    if shm_name is not None:
+        return ShardHandoff(
+            index=spec.index,
+            records=records,
+            result_sha256=sha256,
+            nbytes=len(blob),
+            transport="shm",
+            chunks=chunks,
+            shm_name=shm_name,
+        )
+    return ShardHandoff(
+        index=spec.index,
+        records=records,
+        result_sha256=sha256,
+        nbytes=len(blob),
+        transport="inline",
+        chunks=chunks,
+        inline=blob,
+    )
+
+
+def collect_partial(
+    handoff: ShardHandoff,
+    layout: Optional[CampaignLayout],
+    spec: ShardSpec,
+) -> dict:
+    """Parent side: retrieve the payload, verify its digest, parse."""
+    if handoff.transport == "file":
+        if layout is None:
+            raise HandoffError(
+                f"shard {handoff.index}: file transport without a layout"
+            )
+        try:
+            text = layout.read_result(spec)
+        except OSError as exc:
+            raise HandoffError(
+                f"shard {handoff.index}: result file unreadable: {exc}"
+            ) from exc
+    elif handoff.transport == "shm":
+        from multiprocessing import shared_memory
+
+        try:
+            shm = shared_memory.SharedMemory(name=handoff.shm_name)
+        except (OSError, ValueError) as exc:
+            raise HandoffError(
+                f"shard {handoff.index}: shared memory "
+                f"{handoff.shm_name!r} missing: {exc}"
+            ) from exc
+        try:
+            text = bytes(shm.buf[: handoff.nbytes]).decode("utf-8")
+        finally:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+    elif handoff.transport == "inline":
+        text = (handoff.inline or b"").decode("utf-8")
+    else:
+        raise HandoffError(
+            f"shard {handoff.index}: unknown transport "
+            f"{handoff.transport!r}"
+        )
+    if sha256_text(text) != handoff.result_sha256:
+        raise HandoffError(
+            f"shard {handoff.index}: payload digest mismatch over "
+            f"{handoff.transport} transport"
+        )
+    return json.loads(text)

@@ -3,29 +3,31 @@
 A campaign output directory is laid out as::
 
     <out>/
-      campaign.json            # config fingerprint + payload (schema 1)
-      shards/shard-0003.mrt    # the shard's generated archive
-      results/shard-0003.json  # the shard's PartialResult payload
-      manifest/shard-0003.json # written LAST, marks the shard done
+      campaign.json                   # config fingerprint + payload
+      shards/shard-0003/day-0012.rcol # one spill chunk per day
+      results/shard-0003.json         # the shard's PartialResult payload
+      manifest/shard-0003.json        # written LAST, marks the shard done
 
-Each manifest entry records the shard spec (exchange, day range,
-seeds), the record count, and SHA-256 digests of both the archive and
-the result payload.  Because the manifest file is written only after
-the archive and result are safely on disk, a killed run leaves at
-worst a result without a manifest — which a resumed run simply
-recomputes.  On ``--resume`` the runner loads every manifested shard
-whose digests verify and re-runs only the rest, so finished days are
-never regenerated.
+Each manifest entry (schema 2) records the shard spec (exchange, day
+range, seeds), the record count, a descriptor per day chunk (file,
+rows, sha256), and the result payload's digest.  Because the manifest
+file is written only after the chunks and result are safely on disk, a
+killed run leaves at worst unmanifested state — which a resumed run
+recomputes, reusing any day chunks whose digests still verify
+(:func:`first_unfinished_day` finds where real work restarts).  On
+``--resume`` the runner loads every manifested shard whose digests
+verify and re-runs only the rest, so finished days are never
+regenerated.
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Callable, Dict, Optional, Union
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
+from ..core.spill import ChunkCorrupt, verify_chunk
 from .config import CampaignConfig, ShardSpec, canonical_json, sha256_text
 from .results import PartialResult
 
@@ -35,7 +37,7 @@ __all__ = [
     "SCHEMA_VERSION",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 class ConfigMismatch(RuntimeError):
@@ -61,8 +63,15 @@ class CampaignLayout:
 
     # -- per-shard paths ----------------------------------------------------
 
-    def archive_path(self, spec: ShardSpec) -> Path:
-        return self.shards_dir / f"{spec.name}.mrt"
+    def chunk_dir(self, spec: ShardSpec) -> Path:
+        return self.shards_dir / spec.name
+
+    def chunk_path(self, spec: ShardSpec, day: int) -> Path:
+        return self.chunk_dir(spec) / f"day-{day:04d}.rcol"
+
+    def chunk_relpath(self, spec: ShardSpec, day: int) -> str:
+        """The manifest's root-relative chunk reference."""
+        return os.path.join("shards", spec.name, f"day-{day:04d}.rcol")
 
     def result_path(self, spec: ShardSpec) -> Path:
         return self.results_dir / f"{spec.name}.json"
@@ -97,48 +106,91 @@ class CampaignLayout:
 
     # -- shard completion ---------------------------------------------------
 
-    def write_shard(
+    def write_result(self, spec: ShardSpec, result_text: str) -> None:
+        """Persist the shard's canonical result payload (worker-side
+        in the pool path; the manifest still comes from the parent)."""
+        self.result_path(spec).write_text(result_text + "\n")
+
+    def read_result(self, spec: ShardSpec) -> str:
+        """The persisted canonical result text (raises OSError when
+        missing — callers decide what absence means)."""
+        return self.result_path(spec).read_text().rstrip("\n")
+
+    def write_manifest(
         self,
         spec: ShardSpec,
-        partial_payload: dict,
         records: int,
-        archive_sha256: Optional[str],
+        chunks: List[dict],
+        result_sha256: str,
         before_manifest: Optional[Callable[[], None]] = None,
     ) -> None:
-        """Persist one finished shard; the manifest entry goes last so
-        its presence implies the result is durable.
+        """Mark a shard done; the manifest entry goes last so its
+        presence implies the chunks and result are durable.
 
         ``before_manifest`` (the chaos layer's fault point) runs after
         the result is on disk but before the manifest exists — a kill
         there must leave a shard that resume treats as incomplete.
         """
-        result_text = canonical_json(partial_payload)
-        self.result_path(spec).write_text(result_text + "\n")
         if before_manifest is not None:
             before_manifest()
         manifest = {
             "schema": SCHEMA_VERSION,
             **spec.to_payload(),
             "records": records,
-            "archive": (
-                None
-                if archive_sha256 is None
-                else os.path.join("shards", f"{spec.name}.mrt")
-            ),
-            "archive_sha256": archive_sha256,
+            "chunks": chunks,
             "result": os.path.join("results", f"{spec.name}.json"),
-            "result_sha256": sha256_text(result_text),
+            "result_sha256": result_sha256,
         }
         self.manifest_path(spec).write_text(
             json.dumps(manifest, indent=2, sort_keys=True) + "\n"
         )
 
+    def write_shard(
+        self,
+        spec: ShardSpec,
+        partial_payload: dict,
+        records: int,
+        chunks: List[dict],
+        before_manifest: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Persist one finished shard (result, then manifest)."""
+        result_text = canonical_json(partial_payload)
+        self.write_result(spec, result_text)
+        self.write_manifest(
+            spec,
+            records,
+            chunks,
+            sha256_text(result_text),
+            before_manifest=before_manifest,
+        )
+
+    def _verify_chunks(self, chunks: object) -> bool:
+        """True when every manifested chunk descriptor checks out
+        against the file on disk (existence, row count, digest)."""
+        if not isinstance(chunks, list):
+            return False
+        for entry in chunks:
+            if not isinstance(entry, dict):
+                return False
+            relpath = entry.get("file")
+            if not isinstance(relpath, str):
+                return False
+            try:
+                info = verify_chunk(self.root / relpath)
+            except ChunkCorrupt:
+                return False
+            if info.rows != entry.get("rows"):
+                return False
+            if info.sha256 != entry.get("sha256"):
+                return False
+        return True
+
     def load_shard(self, spec: ShardSpec) -> Optional[PartialResult]:
         """The shard's persisted partial, or None when it is missing,
         stale (spec mismatch), or fails digest verification — of the
-        result payload and, when one was recorded, of the archive
-        (a truncated or corrupted archive invalidates the shard, so
-        resume recomputes it instead of trusting a damaged file)."""
+        result payload and of every recorded day chunk (a truncated or
+        corrupted chunk invalidates the shard, so resume recomputes it
+        instead of trusting a damaged file)."""
         manifest_path = self.manifest_path(spec)
         result_path = self.result_path(spec)
         if not (manifest_path.exists() and result_path.exists()):
@@ -161,20 +213,37 @@ class CampaignLayout:
             return None
         if sha256_text(result_text) != manifest.get("result_sha256"):
             return None
-        if manifest.get("archive_sha256") is not None:
-            archive = self.archive_path(spec)
-            if not archive.exists():
-                return None
-            digest = hashlib.sha256(archive.read_bytes()).hexdigest()
-            if digest != manifest["archive_sha256"]:
-                return None
+        if not self._verify_chunks(manifest.get("chunks")):
+            return None
         return PartialResult.from_payload(json.loads(result_text))
 
-    def completed(self, plan) -> Dict[int, PartialResult]:
-        """All verifiably finished shards of ``plan``, by index."""
-        loaded: Dict[int, PartialResult] = {}
+    def iter_completed(
+        self, plan
+    ) -> Iterator[Tuple[ShardSpec, PartialResult]]:
+        """Verifiably finished shards of ``plan``, streamed in plan
+        order so the runner folds them one at a time instead of
+        holding every loaded partial at once."""
         for spec in plan:
             partial = self.load_shard(spec)
             if partial is not None:
-                loaded[spec.index] = partial
-        return loaded
+                yield spec, partial
+
+    def completed(self, plan) -> Dict[int, PartialResult]:
+        """All verifiably finished shards of ``plan``, by index."""
+        return {
+            spec.index: partial for spec, partial in self.iter_completed(plan)
+        }
+
+    def first_unfinished_day(self, spec: ShardSpec) -> int:
+        """The first day of ``spec`` without a verifiable chunk on
+        disk (``day_hi`` when every day's chunk survives) — where a
+        restarted shard actually resumes generating."""
+        for day in spec.days:
+            path = self.chunk_path(spec, day)
+            if not path.exists():
+                return day
+            try:
+                verify_chunk(path)
+            except ChunkCorrupt:
+                return day
+        return spec.day_hi

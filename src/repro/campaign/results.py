@@ -27,7 +27,7 @@ from worker processes to the parent, persisting completed shards for
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 
@@ -235,7 +235,12 @@ def merge_partials(partials: List[PartialResult]) -> PartialResult:
 
 @dataclass
 class ShardResult:
-    """A completed shard: its spec echo plus the partial aggregates."""
+    """A completed shard: its spec echo plus the partial aggregates.
+
+    ``chunks`` mirrors the manifest's per-day spill-chunk descriptors
+    (``{"day", "file", "rows", "sha256"}`` each); empty for in-memory
+    runs that never spilled.
+    """
 
     index: int
     exchange: str
@@ -243,7 +248,7 @@ class ShardResult:
     day_hi: int
     records: int
     partial: PartialResult
-    archive_sha256: Optional[str] = None
+    chunks: List[dict] = field(default_factory=list)
 
 
 @dataclass

@@ -1,19 +1,34 @@
-"""The sharded, resumable campaign runner.
+"""The sharded, resumable, out-of-core campaign runner.
 
 :func:`run_campaign` expands a
 :class:`~repro.campaign.config.CampaignConfig` into its shard plan,
-runs ``generate → archive → classify → analyze`` for every shard not
-already completed on disk, and merges the partial results into one
+runs ``generate → spill → classify → fold`` for every shard not
+already completed on disk, and folds the partial results into one
 :class:`~repro.campaign.results.CampaignResult`.
 
-Shards execute either inline (``workers <= 1``) or in a
-``multiprocessing`` pool.  Determinism is structural, not
-coincidental: each shard builds a fresh generator and classifier from
-seeds carried by its :class:`~repro.campaign.config.ShardSpec`, runs
-entirely on the columnar tier, and returns integer aggregates whose
-merge is associative — so the merged result is a function of the
-config alone, bit-identical across worker counts, completion orders,
-and kill/resume cycles (proven in ``tests/test_campaign.py``).
+The pipeline is streaming end to end, which is what makes
+``--days 270`` a flat-memory workload:
+
+- each shard generates one day at a time, spills it as a columnar
+  chunk (:mod:`repro.core.spill`) when a layout is given, and folds
+  it through a :class:`~repro.campaign.fold.ShardAccumulator` — at
+  most one day of records lives in a worker at once;
+- pool workers hand back lightweight :class:`ShardHandoff`
+  descriptors (:mod:`repro.campaign.handoff`) instead of pickled
+  aggregates, with the payload crossing via the result file or a
+  shared-memory block;
+- the parent folds partials incrementally as shards complete (the
+  merge is commutative, so completion order cannot matter), never
+  holding more than the running total;
+- resume loads manifested shards one at a time, and a restarted
+  shard reuses every day chunk whose digest verifies — generation
+  restarts at the first unfinished day, with the generator's
+  cross-day state restored from the last good chunk's checkpoint.
+
+``workers <= 1`` runs fully in-process — no Pool is ever spawned, no
+payload round-trips through serialization — and remains the reference
+execution every pool size must reproduce bit-for-bit (proven in
+``tests/test_campaign.py``).
 """
 
 from __future__ import annotations
@@ -21,30 +36,26 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
-import numpy as np
-
-from ..analysis.interarrival import interarrival_columns, histogram_counts
-from ..analysis.timeseries import BinnedSeries
-from ..collector.log import FileLog
-from ..collector.store import SECONDS_PER_DAY
-from ..core.columns import AttributeTable, ColumnClassifier, RecordColumns
-from ..core.instability import (
-    CategoryCounts,
-    counts_by_peer_columns,
-    counts_by_prefix_columns,
+from ..core.columns import AttributeTable, RecordColumns
+from ..core.spill import (
+    ChunkCorrupt,
+    ChunkInfo,
+    SpillChunk,
+    read_chunk,
+    write_chunk,
 )
-from ..core.taxonomy import FINE_GRAINED_CATEGORIES
 from ..workloads.generator import campaign_generator
 from .config import CampaignConfig, ShardSpec
+from .fold import ShardAccumulator
+from .handoff import ShardHandoff, collect_partial, publish_partial
 from .manifest import CampaignLayout
-from .results import TOTAL, CampaignResult, PartialResult
+from .results import CampaignResult, PartialResult
 
 __all__ = [
     "run_campaign",
     "run_shard",
-    "ShardOutcome",
     "CampaignHooks",
     "KillRun",
 ]
@@ -52,8 +63,8 @@ __all__ = [
 #: Progress callback signature: (spec, "run" | "loaded", records).
 ProgressFn = Callable[[ShardSpec, str, int], None]
 
-ShardOutcome = Tuple[int, dict, int, Optional[str]]
-# (shard index, partial payload, record count, archive sha256)
+#: Chunk observer signature: (spec, day, "generated" | "loaded").
+ChunkFn = Callable[[ShardSpec, int, str], None]
 
 
 class KillRun(RuntimeError):
@@ -62,8 +73,8 @@ class KillRun(RuntimeError):
     It propagates out of :func:`run_campaign`, leaving whatever the run
     had written on disk — exactly the state a SIGKILLed process leaves
     behind — so the chaos layer can simulate kills at precise points
-    (including between a shard's result write and its manifest write)
-    and then exercise ``resume``.
+    (including between a shard's result write and its manifest write,
+    or between two day chunks) and then exercise ``resume``.
     """
 
 
@@ -72,14 +83,17 @@ class CampaignHooks:
     """Injectable observation/fault points for :func:`run_campaign`.
 
     Every hook is optional and is invoked in the parent process (the
-    pool path runs shards in workers but writes results in the
-    parent, so the write-side hooks fire there too):
+    pool path runs shards in workers but collects results and writes
+    manifests in the parent, so those hooks fire there too):
 
     - ``order_pending(specs)`` → reordered specs: permutes the
       still-to-run shard list (chaos uses it to prove completion
       order cannot affect the merged result);
     - ``on_shard_start(spec)``: before a shard is (re)computed —
       honored exactly only on the inline (``workers <= 1``) path;
+    - ``on_chunk(spec, day, how)``: after each day chunk is generated
+      or loaded — honored only on the inline path (it fires inside
+      :func:`run_shard`), giving chaos a mid-shard kill seam;
     - ``before_manifest(spec, layout)``: between the shard's result
       write and its manifest write — the crash window the
       manifest-last protocol exists for;
@@ -94,6 +108,7 @@ class CampaignHooks:
         Callable[[List[ShardSpec]], Sequence[ShardSpec]]
     ] = None
     on_shard_start: Optional[Callable[[ShardSpec], None]] = None
+    on_chunk: Optional[ChunkFn] = None
     before_manifest: Optional[
         Callable[[ShardSpec, CampaignLayout], None]
     ] = None
@@ -102,40 +117,27 @@ class CampaignHooks:
     ] = None
 
 
-def _pairs_per_day(columns: RecordColumns) -> Dict[int, int]:
-    """Distinct Prefix+AS pairs per day, via one np.unique over
-    (day, peer ASN, prefix) keys (the Figure 9 'affected routes'
-    numerator, computed shard-locally — days never span shards)."""
-    if len(columns) == 0:
-        return {}
-    keys = np.empty(
-        len(columns),
-        dtype=[("day", "i8"), ("asn", "u4"), ("net", "u4"), ("plen", "u1")],
-    )
-    keys["day"] = (columns.time // SECONDS_PER_DAY).astype(np.int64)
-    keys["asn"] = columns.peer_asn
-    keys["net"] = columns.net
-    keys["plen"] = columns.plen
-    unique = np.unique(keys)
-    days, counts = np.unique(unique["day"], return_counts=True)
-    return {
-        int(day): int(count)
-        for day, count in zip(days.tolist(), counts.tolist())
-    }
-
-
 def run_shard(
     config: CampaignConfig,
     spec: ShardSpec,
     layout: Optional[CampaignLayout] = None,
-) -> Tuple[PartialResult, int, Optional[str]]:
-    """Run one shard's full pipeline; pure function of its arguments.
+    on_chunk: Optional[ChunkFn] = None,
+) -> Tuple[PartialResult, int, List[dict]]:
+    """Run one shard's streaming pipeline; pure function of its
+    arguments plus whatever verifiable chunks already sit on disk.
 
-    Generates the spec's day range with a fresh generator, archives
-    the columnar batches day by day (when a layout is given), decodes
-    the archive back, classifies it with a fresh classifier, and
-    computes the shard's mergeable aggregates.  Returns ``(partial,
-    record count, archive digest or None)``.
+    Day by day: reuse the day's spill chunk when a layout is given and
+    the chunk verifies (restoring the generator's cross-day state from
+    its checkpoint), otherwise generate the day and spill it; either
+    way the day folds through the accumulator and is dropped.  Peak
+    memory is one day of records — on the reuse path a read-only memmap
+    of the chunk.  Returns ``(partial, record count, chunk
+    descriptors)``; the descriptor list is empty without a layout.
+
+    A fresh attribute table per day keeps each chunk's bytes a pure
+    function of ``(config, spec, day)`` — classification and every
+    aggregate are invariant to attribute-id numbering, so per-day
+    tables change no result while making chunk digests reproducible.
     """
     generator = campaign_generator(
         n_peers=config.n_peers,
@@ -144,88 +146,79 @@ def run_shard(
         generator_seed=spec.generator_seed,
     )
     categories = config.category_set()
-    table = AttributeTable()
-
-    # 1. Generate + archive, one columnar batch per day (a long shard
-    # never holds unarchived days in memory alongside the decode).
-    archive_sha256: Optional[str] = None
-    if layout is not None:
-        archive = FileLog(layout.archive_path(spec))
-        with archive.writer() as writer:
-            for day in spec.days:
-                writer.extend_columns(
-                    generator.day_columns(
-                        day,
-                        pair_fraction=config.pair_fraction,
-                        categories=categories,
-                        attrs=table,
+    fingerprint = config.fingerprint()
+    accumulator = ShardAccumulator(config, spec)
+    chunks: List[dict] = []
+    for day in spec.days:
+        columns: Optional[RecordColumns] = None
+        info: Optional[ChunkInfo] = None
+        how = "generated"
+        if layout is not None:
+            path = layout.chunk_path(spec, day)
+            if path.exists():
+                chunk: Optional[SpillChunk] = None
+                try:
+                    chunk = read_chunk(path)
+                except ChunkCorrupt:
+                    chunk = None
+                if (
+                    chunk is not None
+                    and chunk.extra.get("campaign") == fingerprint
+                    and chunk.extra.get("shard") == spec.index
+                    and chunk.extra.get("day") == day
+                ):
+                    columns = chunk.columns
+                    generator.restore_state(
+                        chunk.extra["generator_state"]
                     )
-                )
-        archive_sha256 = archive.sha256()
-        # 2. Decode: read the archive back (the collect→decode step of
-        # the paper's pipeline; also verifies the round trip).
-        columns = archive.read_columns()
-    else:
-        batches = [
-            generator.day_columns(
+                    info = chunk.info
+                    how = "loaded"
+        if columns is None:
+            columns = generator.day_columns(
                 day,
                 pair_fraction=config.pair_fraction,
                 categories=categories,
-                attrs=table,
+                attrs=AttributeTable(),
             )
-            for day in spec.days
-        ]
-        columns = RecordColumns.concat(batches)
-
-    # 3. Classify on the columnar tier (fresh per-shard state; shard
-    # boundaries are the campaign's defined classification restarts).
-    codes, policy = ColumnClassifier().classify(columns)
-
-    # 4. Analyze into the mergeable aggregates.
-    shard_counts = CategoryCounts.from_codes(codes, policy)
-    bins = BinnedSeries.from_records(
-        columns,
-        config.bin_width,
-        start=spec.day_lo * SECONDS_PER_DAY,
-        end=spec.day_hi * SECONDS_PER_DAY,
-    )
-    interarrival = {
-        TOTAL: histogram_counts(interarrival_columns(columns))
-    }
-    for category in FINE_GRAINED_CATEGORIES:
-        interarrival[category.name] = histogram_counts(
-            interarrival_columns(columns, codes, category)
-        )
-    partial = PartialResult(
-        records=len(columns),
-        counts=shard_counts,
-        bins=bins,
-        interarrival=interarrival,
-        by_peer=counts_by_peer_columns(columns, codes, policy),
-        by_prefix=counts_by_prefix_columns(columns),
-        pairs_per_day=_pairs_per_day(columns),
-        by_exchange={spec.exchange: shard_counts},
-    )
-    return partial, len(columns), archive_sha256
+            if layout is not None:
+                info = write_chunk(
+                    layout.chunk_path(spec, day),
+                    columns,
+                    extra={
+                        "campaign": fingerprint,
+                        "shard": spec.index,
+                        "day": day,
+                        "generator_state": generator.state_payload(),
+                    },
+                )
+        if layout is not None:
+            assert info is not None  # both branches above set it
+            chunks.append(
+                {
+                    "day": day,
+                    "file": layout.chunk_relpath(spec, day),
+                    "rows": info.rows,
+                    "sha256": info.sha256,
+                }
+            )
+        accumulator.fold_day(day, columns)
+        if on_chunk is not None:
+            on_chunk(spec, day, how)
+    return accumulator.result(), accumulator.records, chunks
 
 
-def _shard_task(task: Tuple[dict, dict, Optional[str]]) -> ShardOutcome:
+def _shard_task(task: Tuple[dict, dict, Optional[str]]) -> ShardHandoff:
     """Pool entry point (top-level so it pickles under spawn)."""
     config_payload, spec_payload, out = task
     config = CampaignConfig.from_payload(config_payload, out=out)
-    spec = ShardSpec(
-        index=int(spec_payload["index"]),
-        exchange=spec_payload["exchange"],
-        day_lo=int(spec_payload["days"][0]),
-        day_hi=int(spec_payload["days"][1]),
-        population_seed=int(spec_payload["population_seed"]),
-        generator_seed=int(spec_payload["generator_seed"]),
+    spec = ShardSpec.from_payload(spec_payload)
+    layout = CampaignLayout(out) if out is not None else None
+    if layout is not None:
+        layout.chunk_dir(spec).mkdir(parents=True, exist_ok=True)
+    partial, records, chunks = run_shard(config, spec, layout)
+    return publish_partial(
+        spec, partial.to_payload(), records, chunks, layout
     )
-    layout = None
-    if out is not None:
-        layout = CampaignLayout(out)
-    partial, records, archive_sha256 = run_shard(config, spec, layout)
-    return spec.index, partial.to_payload(), records, archive_sha256
 
 
 def _pool_context():
@@ -245,16 +238,18 @@ def run_campaign(
 ) -> CampaignResult:
     """Run (or resume) a campaign; see module docstring.
 
-    ``workers`` sets the process-pool size (``<= 1`` runs inline —
-    the reference execution every pool size must reproduce).
-    ``resume`` loads verifiably completed shards from ``config.out``
-    instead of re-running them.  ``stop_after`` caps how many *new*
-    shards run before returning a partial result — the programmatic
-    stand-in for a killed run (the manifest tests and checkpoint
-    demos use it); it is honored exactly only with ``workers <= 1``.
-    ``hooks`` injects observation/fault points (see
-    :class:`CampaignHooks`); a hook raising :class:`KillRun` aborts
-    the run with the on-disk state of a killed process.
+    ``workers`` sets the process-pool size; ``<= 1`` runs fully
+    in-process (no Pool is spawned) — the reference execution every
+    pool size must reproduce.  ``resume`` loads verifiably completed
+    shards from ``config.out`` instead of re-running them, and
+    restarted shards reuse their verifiable day chunks.
+    ``stop_after`` caps how many *new* shards run before returning a
+    partial result — the programmatic stand-in for a killed run (the
+    manifest tests and checkpoint demos use it); it is honored
+    exactly only with ``workers <= 1``.  ``hooks`` injects
+    observation/fault points (see :class:`CampaignHooks`); a hook
+    raising :class:`KillRun` aborts the run with the on-disk state of
+    a killed process.
     """
     # lint: allow[DET002] -- CampaignResult.elapsed is operator info
     started = time.perf_counter()
@@ -266,17 +261,21 @@ def run_campaign(
         layout.prepare()
         layout.write_campaign(config)
 
-    partials: Dict[int, PartialResult] = {}
+    # The running total: partials fold in as they arrive (completion
+    # order — the merge is commutative, proven by the merge-order
+    # property tests), so the parent never holds per-shard results.
+    merged = PartialResult.empty()
+    done = set()
     loaded = 0
     if resume and layout is not None:
-        partials = layout.completed(plan)
-        loaded = len(partials)
-        if progress is not None:
-            for spec in plan:
-                if spec.index in partials:
-                    progress(spec, "loaded", partials[spec.index].records)
+        for spec, partial in layout.iter_completed(plan):
+            merged = merged + partial
+            done.add(spec.index)
+            loaded += 1
+            if progress is not None:
+                progress(spec, "loaded", partial.records)
 
-    pending = [spec for spec in plan if spec.index not in partials]
+    pending = [spec for spec in plan if spec.index not in done]
     if hooks is not None and hooks.order_pending is not None:
         reordered = list(hooks.order_pending(list(pending)))
         assert {s.index for s in reordered} <= {s.index for s in pending}
@@ -284,47 +283,69 @@ def run_campaign(
     if stop_after is not None:
         pending = pending[:max(0, stop_after)]
 
-    by_index = {spec.index: spec for spec in plan}
+    def before_manifest_hook(spec: ShardSpec) -> Optional[Callable[[], None]]:
+        if hooks is None or hooks.before_manifest is None or layout is None:
+            return None
+        callback, sealed = hooks.before_manifest, layout
+        return lambda: callback(spec, sealed)
 
-    def finish(outcome: ShardOutcome) -> None:
-        index, payload, records, archive_sha256 = outcome
-        partials[index] = PartialResult.from_payload(payload)
-        if layout is not None:
-            before_manifest = None
-            if hooks is not None and hooks.before_manifest is not None:
-                spec = by_index[index]
-                before_manifest = lambda: hooks.before_manifest(spec, layout)
-            layout.write_shard(
-                by_index[index], payload, records, archive_sha256,
-                before_manifest=before_manifest,
-            )
-            if hooks is not None and hooks.on_shard_written is not None:
-                hooks.on_shard_written(by_index[index], layout)
-        if progress is not None:
-            progress(by_index[index], "run", records)
+    def shard_written(spec: ShardSpec) -> None:
+        if hooks is None or hooks.on_shard_written is None or layout is None:
+            return
+        hooks.on_shard_written(spec, layout)
 
     ran = len(pending)
     if pending:
-        tasks = [
-            (config.to_payload(), spec.to_payload(), config.out)
-            for spec in pending
-        ]
         if workers <= 1 or len(pending) == 1:
-            for task, spec in zip(tasks, pending):
+            # In-process fast path: no Pool, no serialization round
+            # trip — the shard's PartialResult folds in directly.
+            on_chunk = hooks.on_chunk if hooks is not None else None
+            for spec in pending:
                 if hooks is not None and hooks.on_shard_start is not None:
                     hooks.on_shard_start(spec)
-                finish(_shard_task(task))
+                partial, records, chunks = run_shard(
+                    config, spec, layout, on_chunk=on_chunk
+                )
+                if layout is not None:
+                    layout.write_shard(
+                        spec,
+                        partial.to_payload(),
+                        records,
+                        chunks,
+                        before_manifest=before_manifest_hook(spec),
+                    )
+                    shard_written(spec)
+                merged = merged + partial
+                if progress is not None:
+                    progress(spec, "run", records)
         else:
+            tasks = [
+                (config.to_payload(), spec.to_payload(), config.out)
+                for spec in pending
+            ]
+            by_index = {spec.index: spec for spec in pending}
             context = _pool_context()
             with context.Pool(min(workers, len(pending))) as pool:
-                # Unordered: shards land as they finish; the merge
-                # below re-imposes shard-index order.
-                for outcome in pool.imap_unordered(_shard_task, tasks):
-                    finish(outcome)
+                # Unordered: shards land as they finish and fold into
+                # the running total immediately (commutative merge).
+                for handoff in pool.imap_unordered(_shard_task, tasks):
+                    spec = by_index[handoff.index]
+                    payload = collect_partial(handoff, layout, spec)
+                    if layout is not None:
+                        # The worker already wrote the result file;
+                        # the parent seals the shard manifest-last.
+                        layout.write_manifest(
+                            spec,
+                            handoff.records,
+                            handoff.chunks,
+                            handoff.result_sha256,
+                            before_manifest=before_manifest_hook(spec),
+                        )
+                        shard_written(spec)
+                    merged = merged + PartialResult.from_payload(payload)
+                    if progress is not None:
+                        progress(spec, "run", handoff.records)
 
-    merged = PartialResult.empty()
-    for index in sorted(partials):
-        merged = merged + partials[index]
     return CampaignResult(
         config=config,
         partial=merged,

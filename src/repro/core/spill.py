@@ -1,0 +1,327 @@
+"""Memory-mappable columnar spill chunks: the out-of-core tier.
+
+The paper's measurement horizon is nine months of 3-6 million
+updates/day — far past what a campaign can hold in RAM.  This module
+defines the on-disk unit that makes long horizons a flat-memory
+workload: one *spill chunk* per generated day, holding a
+:class:`~repro.core.columns.RecordColumns` batch as a raw
+:data:`~repro.core.columns.RECORD_DTYPE` segment that ``np.memmap``
+can address directly, plus a small JSON footer.
+
+File layout (single file, written atomically via ``os.replace``)::
+
+    offset 0      8-byte magic "RCOLSPL1"
+    offset 8      rows * RECORD_DTYPE.itemsize raw record bytes
+    then          JSON footer: schema, dtype descr, row count,
+                  attribute table, caller metadata, sha256
+    last 16 bytes footer length (little-endian u64) + end magic
+
+Readers seek the trailer, parse the footer, and map the data segment
+in place — :class:`~repro.core.columns.RecordColumns` wraps the memmap
+without copying, so streaming a 270-day campaign touches one day of
+pages at a time.  The digest covers the data bytes *and* the footer
+metadata, so truncation, bit flips, or a stale footer all surface as
+:class:`ChunkCorrupt` instead of silently corrupt aggregates.
+
+The attribute table serializes through an explicit
+:class:`~repro.bgp.attributes.PathAttributes` codec
+(:func:`attributes_payload` / :func:`attributes_from_payload`) — no
+pickle anywhere, so chunks are inspectable and stable across Python
+versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..bgp.attributes import AsPath, Origin, PathAttributes
+from .columns import NO_ATTR, RECORD_DTYPE, AttributeTable, RecordColumns
+
+__all__ = [
+    "CHUNK_MAGIC",
+    "CHUNK_SCHEMA",
+    "ChunkCorrupt",
+    "ChunkInfo",
+    "SpillChunk",
+    "attribute_payload",
+    "attribute_from_payload",
+    "attributes_payload",
+    "attributes_from_payload",
+    "write_chunk",
+    "read_chunk",
+    "verify_chunk",
+]
+
+CHUNK_MAGIC = b"RCOLSPL1"
+CHUNK_END_MAGIC = b"1LPSLOCR"
+CHUNK_SCHEMA = 1
+#: Trailer: little-endian u64 footer length + 8-byte end magic.
+_TRAILER_SIZE = 16
+#: Streaming-hash block size for digest verification.
+_HASH_BLOCK = 1 << 22
+
+
+class ChunkCorrupt(RuntimeError):
+    """A spill chunk failed structural or digest verification.
+
+    Raised for truncation, bit flips, bad magic, schema or dtype
+    mismatches, and unparseable footers — any state where the chunk
+    cannot be trusted and the day must be regenerated.
+    """
+
+
+class ChunkInfo:
+    """Lightweight descriptor of a chunk on disk (what a manifest or a
+    worker handoff carries instead of the data itself)."""
+
+    __slots__ = ("rows", "sha256")
+
+    def __init__(self, rows: int, sha256: str) -> None:
+        self.rows = rows
+        self.sha256 = sha256
+
+
+class SpillChunk:
+    """A verified chunk read back from disk: the (memory-mapped)
+    columns, the caller metadata stored with them, and the descriptor."""
+
+    __slots__ = ("columns", "extra", "info")
+
+    def __init__(
+        self, columns: RecordColumns, extra: dict, info: ChunkInfo
+    ) -> None:
+        self.columns = columns
+        self.extra = extra
+        self.info = info
+
+
+# -- PathAttributes codec ---------------------------------------------------
+
+
+def attribute_payload(attrs: PathAttributes) -> dict:
+    """One attribute bundle as canonical plain data (sorted, total)."""
+    return {
+        "as_path": list(attrs.as_path),
+        "next_hop": attrs.next_hop,
+        "origin": int(attrs.origin),
+        "med": attrs.med,
+        "local_pref": attrs.local_pref,
+        "communities": sorted(attrs.communities),
+        "atomic_aggregate": attrs.atomic_aggregate,
+        "aggregator": (
+            None if attrs.aggregator is None else list(attrs.aggregator)
+        ),
+    }
+
+
+def attribute_from_payload(payload: dict) -> PathAttributes:
+    return PathAttributes(
+        as_path=AsPath(int(a) for a in payload["as_path"]),
+        next_hop=int(payload["next_hop"]),
+        origin=Origin(int(payload["origin"])),
+        med=None if payload["med"] is None else int(payload["med"]),
+        local_pref=(
+            None
+            if payload["local_pref"] is None
+            else int(payload["local_pref"])
+        ),
+        communities=frozenset(int(c) for c in payload["communities"]),
+        atomic_aggregate=bool(payload["atomic_aggregate"]),
+        aggregator=(
+            None
+            if payload["aggregator"] is None
+            else (
+                int(payload["aggregator"][0]),
+                int(payload["aggregator"][1]),
+            )
+        ),
+    )
+
+
+def attributes_payload(table: AttributeTable) -> List[dict]:
+    """The whole intern table, id order preserved."""
+    return [attribute_payload(table[i]) for i in range(len(table))]
+
+
+def attributes_from_payload(entries: List[dict]) -> AttributeTable:
+    table = AttributeTable()
+    for i, entry in enumerate(entries):
+        if table.intern(attribute_from_payload(entry)) != i:
+            raise ChunkCorrupt(
+                "attribute table has duplicate entries; ids would remap"
+            )
+    return table
+
+
+# -- write ------------------------------------------------------------------
+
+
+def _canonical(payload) -> bytes:
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def _chunk_digest(data_bytes: bytes, meta: dict) -> str:
+    digest = hashlib.sha256(data_bytes)
+    digest.update(_canonical(meta))
+    return digest.hexdigest()
+
+
+def write_chunk(
+    path: Union[str, Path],
+    columns: RecordColumns,
+    extra: Optional[dict] = None,
+) -> ChunkInfo:
+    """Persist ``columns`` as one spill chunk; atomic via a temp file.
+
+    ``extra`` is caller metadata stored verbatim in the footer (the
+    campaign puts the day number, config fingerprint, and generator
+    state checkpoint there); it must be canonical-JSON-safe plain data.
+    """
+    path = Path(path)
+    data = np.ascontiguousarray(columns.data, dtype=RECORD_DTYPE)
+    data_bytes = data.tobytes()
+    meta = {
+        "schema": CHUNK_SCHEMA,
+        "dtype": [list(f) for f in RECORD_DTYPE.descr],
+        "rows": len(data),
+        "attrs": attributes_payload(columns.attrs),
+        "extra": extra if extra is not None else {},
+    }
+    sha256 = _chunk_digest(data_bytes, meta)
+    footer = _canonical(dict(meta, sha256=sha256))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(CHUNK_MAGIC)
+        fh.write(data_bytes)
+        fh.write(footer)
+        fh.write(len(footer).to_bytes(8, "little"))
+        fh.write(CHUNK_END_MAGIC)
+    os.replace(tmp, path)
+    return ChunkInfo(rows=len(data), sha256=sha256)
+
+
+# -- read -------------------------------------------------------------------
+
+
+def _read_footer(path: Path) -> dict:
+    """Parse and structurally validate the footer; raises ChunkCorrupt."""
+    try:
+        size = os.stat(path).st_size
+    except OSError as exc:
+        raise ChunkCorrupt(f"{path}: {exc}") from exc
+    if size < len(CHUNK_MAGIC) + _TRAILER_SIZE:
+        raise ChunkCorrupt(f"{path}: too short to be a spill chunk")
+    try:
+        with open(path, "rb") as fh:
+            if fh.read(len(CHUNK_MAGIC)) != CHUNK_MAGIC:
+                raise ChunkCorrupt(f"{path}: bad magic")
+            fh.seek(size - _TRAILER_SIZE)
+            trailer = fh.read(_TRAILER_SIZE)
+            footer_len = int.from_bytes(trailer[:8], "little")
+            if trailer[8:] != CHUNK_END_MAGIC:
+                raise ChunkCorrupt(f"{path}: bad end magic (truncated?)")
+            footer_off = size - _TRAILER_SIZE - footer_len
+            if footer_off < len(CHUNK_MAGIC):
+                raise ChunkCorrupt(f"{path}: footer length out of bounds")
+            fh.seek(footer_off)
+            footer_bytes = fh.read(footer_len)
+    except OSError as exc:
+        raise ChunkCorrupt(f"{path}: {exc}") from exc
+    try:
+        footer = json.loads(footer_bytes)
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ChunkCorrupt(f"{path}: unparseable footer") from exc
+    if not isinstance(footer, dict):
+        raise ChunkCorrupt(f"{path}: footer is not an object")
+    if footer.get("schema") != CHUNK_SCHEMA:
+        raise ChunkCorrupt(
+            f"{path}: schema {footer.get('schema')!r} != {CHUNK_SCHEMA}"
+        )
+    if footer.get("dtype") != [list(f) for f in RECORD_DTYPE.descr]:
+        raise ChunkCorrupt(f"{path}: dtype does not match RECORD_DTYPE")
+    rows = footer.get("rows")
+    if not isinstance(rows, int) or rows < 0:
+        raise ChunkCorrupt(f"{path}: bad row count {rows!r}")
+    if footer_off - len(CHUNK_MAGIC) != rows * RECORD_DTYPE.itemsize:
+        raise ChunkCorrupt(
+            f"{path}: data segment is not exactly {rows} records"
+        )
+    if not isinstance(footer.get("attrs"), list):
+        raise ChunkCorrupt(f"{path}: missing attribute table")
+    if not isinstance(footer.get("extra"), dict):
+        raise ChunkCorrupt(f"{path}: missing extra metadata")
+    if not isinstance(footer.get("sha256"), str):
+        raise ChunkCorrupt(f"{path}: missing digest")
+    return footer
+
+
+def _verify_digest(path: Path, footer: dict) -> None:
+    """Recompute the chunk digest by streaming the data segment."""
+    digest = hashlib.sha256()
+    remaining = footer["rows"] * RECORD_DTYPE.itemsize
+    with open(path, "rb") as fh:
+        fh.seek(len(CHUNK_MAGIC))
+        while remaining:
+            block = fh.read(min(remaining, _HASH_BLOCK))
+            if not block:
+                raise ChunkCorrupt(f"{path}: data segment truncated")
+            digest.update(block)
+            remaining -= len(block)
+    meta = {k: v for k, v in footer.items() if k != "sha256"}
+    digest.update(_canonical(meta))
+    if digest.hexdigest() != footer["sha256"]:
+        raise ChunkCorrupt(f"{path}: digest mismatch")
+
+
+def verify_chunk(path: Union[str, Path]) -> ChunkInfo:
+    """Full integrity check without materializing the data; raises
+    :class:`ChunkCorrupt` on any problem."""
+    path = Path(path)
+    footer = _read_footer(path)
+    _verify_digest(path, footer)
+    return ChunkInfo(rows=footer["rows"], sha256=footer["sha256"])
+
+
+def read_chunk(
+    path: Union[str, Path], verify: bool = True
+) -> SpillChunk:
+    """Open a chunk for streaming: the data segment is memory-mapped
+    (read-only, zero-copy into :class:`RecordColumns`), the attribute
+    table rebuilt from the footer.  ``verify=True`` (the default)
+    recomputes the digest first — resume paths must never trust a
+    chunk that a crash or fault could have damaged."""
+    path = Path(path)
+    footer = _read_footer(path)
+    if verify:
+        _verify_digest(path, footer)
+    rows = footer["rows"]
+    table = attributes_from_payload(footer["attrs"])
+    if rows:
+        data = np.memmap(
+            path,
+            dtype=RECORD_DTYPE,
+            mode="r",
+            offset=len(CHUNK_MAGIC),
+            shape=(rows,),
+        )
+        announced = data["attr_id"][data["attr_id"] != NO_ATTR]
+        if len(announced) and int(announced.max()) >= len(table):
+            raise ChunkCorrupt(
+                f"{path}: attr_id exceeds attribute table"
+            )
+    else:
+        data = np.empty(0, dtype=RECORD_DTYPE)
+    return SpillChunk(
+        RecordColumns(data, table),
+        footer["extra"],
+        ChunkInfo(rows=rows, sha256=footer["sha256"]),
+    )

@@ -9,8 +9,12 @@ materialization path.  The discipline also covers ``repro.sim`` (event
 handles, timers, links, routers — the discrete-event hot path drains
 millions of events per run) and the RIB data model
 (``repro.bgp.rib`` / ``repro.bgp.attributes``, where a table holds one
-``Route``/``PathAttributes`` per (peer, prefix)).  The rule keeps the
-discipline from silently eroding: every class in those modules
+``Route``/``PathAttributes`` per (peer, prefix)).  The out-of-core
+campaign tier joins the list: ``repro.core.spill`` (covered via the
+``repro/core/`` prefix) plus ``repro.campaign.fold`` and
+``repro.campaign.handoff`` sit on the per-day spill/fold path and hold
+per-shard accumulator state.  The rule keeps the discipline from
+silently eroding: every class in those modules
 declares ``__slots__`` directly or via ``@dataclass(slots=True)``.
 Enums, exceptions, and the other interpreter-managed layouts are
 exempt.
@@ -29,6 +33,8 @@ TARGET_SUFFIXES = (
     "collector/record.py",
     "bgp/rib.py",
     "bgp/attributes.py",
+    "campaign/fold.py",
+    "campaign/handoff.py",
 )
 TARGET_DIRS = ("repro/core/", "repro/sim/")
 

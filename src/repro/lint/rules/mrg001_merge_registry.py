@@ -14,7 +14,8 @@ breaks:
    merge-order independence never see it.
 
 The rule statically enforces, for every ``__add__``-defining class in
-``repro.campaign.results``: registration in the module-level
+``repro.campaign.results`` (and the out-of-core fold/handoff modules
+that feed it): registration in the module-level
 ``COMMUTATIVE_MERGES`` tuple, an ``__radd__ = __add__`` alias (so
 ``sum()`` folds work), and that the ``__add__`` body mentions every
 dataclass field.
@@ -29,8 +30,13 @@ from ..engine import Finding, ModuleContext, Rule
 
 REGISTRY_NAME = "COMMUTATIVE_MERGES"
 
-#: Suffix of the module(s) the discipline applies to.
-TARGET_SUFFIX = "campaign/results.py"
+#: Suffixes of the modules the discipline applies to — the result
+#: types plus the out-of-core fold/handoff layer that produces them.
+TARGET_SUFFIXES = (
+    "campaign/results.py",
+    "campaign/fold.py",
+    "campaign/handoff.py",
+)
 
 
 def _registered_names(tree: ast.AST) -> Set[str]:
@@ -101,7 +107,7 @@ class MergeRegistryRule(Rule):
     )
 
     def applies_to(self, ctx: ModuleContext) -> bool:
-        return ctx.rel.endswith(TARGET_SUFFIX)
+        return ctx.rel.endswith(TARGET_SUFFIXES)
 
     def check(self, ctx: ModuleContext) -> Iterable[Finding]:
         registered = _registered_names(ctx.tree)

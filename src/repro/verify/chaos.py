@@ -5,10 +5,10 @@ directory) and a fault seed, then repeatedly:
 
 1. resumes the campaign with :class:`~repro.campaign.CampaignHooks`
    that shuffle shard execution order and randomly kill the run — at
-   shard start, or inside the crash window between a shard's result
-   write and its manifest write;
+   shard start, between two day chunks mid-shard, or inside the crash
+   window between a shard's result write and its manifest write;
 2. corrupts the on-disk state a kill left behind: truncating or
-   bit-flipping shard archives and result payloads, deleting or
+   bit-flipping day spill chunks and result payloads, deleting or
    mangling manifests.
 
 After the configured rounds it performs one clean ``resume`` to
@@ -121,6 +121,9 @@ def run_chaos_campaign(
         hooks = CampaignHooks(
             order_pending=lambda specs: rng.sample(specs, len(specs)),
             on_shard_start=lambda spec: maybe_kill("start", spec),
+            on_chunk=(
+                lambda spec, day, how: maybe_kill(f"day {day} chunk", spec)
+            ),
             before_manifest=(
                 lambda spec, layout: maybe_kill("pre-manifest", spec)
             ),
@@ -134,12 +137,15 @@ def run_chaos_campaign(
             report.kills += 1
             report.faults.append(kill_note)
 
-        # Corrupt what the (possibly killed) run left on disk.
+        # Corrupt what the (possibly killed) run left on disk: spill
+        # chunks (shards/shard-NNNN/day-NNNN.rcol), result payloads,
+        # and manifests alike.
         root = Path(config.out)
         victims = sorted(
             path
             for subdir in ("shards", "results", "manifest")
-            for path in (root / subdir).glob("shard-*")
+            for path in (root / subdir).rglob("*")
+            if path.is_file()
         )
         for path in victims:
             if rng.random() < corrupt_probability:

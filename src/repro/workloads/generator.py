@@ -811,6 +811,59 @@ class TraceGenerator:
         """Forget per-pair state (fresh campaign)."""
         self._states.clear()
 
+    def state_payload(self) -> dict:
+        """Checkpoint the cross-day per-pair state as plain data.
+
+        The campaign's spill chunks store this in their footer so a
+        resumed shard can load finished days from disk and *continue
+        generating* from the exact state the original run had — the
+        generator carries reachability/variant/MED memory across days,
+        so skipping a day's RNG is only sound with its end state
+        restored.  Columnar and key-sorted, so the payload is canonical
+        (independent of dict insertion order) and compact.
+        """
+        items = sorted(
+            self._states.items(),
+            key=lambda kv: (kv[0][0].network, kv[0][0].length, kv[0][1]),
+        )
+        nets: List[int] = []
+        plens: List[int] = []
+        asns: List[int] = []
+        flags: List[int] = []
+        meds: List[int] = []
+        for (prefix, asn), state in items:
+            nets.append(prefix.network)
+            plens.append(prefix.length)
+            asns.append(asn)
+            flags.append(
+                int(state.reachable)
+                | int(state.ever_announced) << 1
+                | int(state.variant) << 2
+                | int(state.med is not None) << 3
+            )
+            if state.med is not None:
+                meds.append(state.med)
+        return {
+            "net": nets, "plen": plens, "asn": asns,
+            "flags": flags, "med": meds,
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Replace per-pair state with a :meth:`state_payload`
+        checkpoint (the inverse; prior state is discarded)."""
+        states: Dict[Pair, _PairState] = {}
+        meds = iter(payload["med"])
+        for net, plen, asn, flags in zip(
+            payload["net"], payload["plen"], payload["asn"], payload["flags"]
+        ):
+            state = _PairState()
+            state.reachable = bool(flags & 1)
+            state.ever_announced = bool(flags & 2)
+            state.variant = (flags >> 2) & 1
+            state.med = next(meds) if flags & 8 else None
+            states[(Prefix(int(net), int(plen)), int(asn))] = state
+        self._states = states
+
 
 def campaign_generator(
     n_peers: int,

@@ -278,22 +278,26 @@ class TestResume:
         fresh = run_campaign(fast_config())
         assert resumed.partial.digest() == fresh.partial.digest()
 
-    def test_manifest_records_archive_digest(self, tmp_path):
-        config = fast_config(days=1, shards=1, out=str(tmp_path / "camp"))
+    def test_manifest_records_chunk_digests(self, tmp_path):
+        config = fast_config(days=2, shards=1, out=str(tmp_path / "camp"))
         run_campaign(config)
         layout = CampaignLayout(config.out)
         spec = config.shard_plan()[0]
         manifest = json.loads(layout.manifest_path(spec).read_text())
-        assert manifest["schema"] == 1
+        assert manifest["schema"] == 2
         assert manifest["records"] > 0
-        assert manifest["archive"] == "shards/shard-0000.mrt"
-        assert len(manifest["archive_sha256"]) == 64
         assert len(manifest["result_sha256"]) == 64
-        # The archived bytes hash to what the manifest promises.
-        from repro.collector.log import FileLog
+        # One chunk descriptor per day, each matching its file's
+        # independently recomputed digest and row count.
+        from repro.core.spill import verify_chunk
 
-        archive = FileLog(layout.archive_path(spec))
-        assert archive.sha256() == manifest["archive_sha256"]
+        assert [c["day"] for c in manifest["chunks"]] == [0, 1]
+        for entry in manifest["chunks"]:
+            assert entry["file"].startswith("shards/shard-0000/")
+            info = verify_chunk(layout.root / entry["file"])
+            assert info.rows == entry["rows"] > 0
+            assert info.sha256 == entry["sha256"]
+            assert len(entry["sha256"]) == 64
 
     def test_archived_run_matches_in_memory_run(self, tmp_path):
         """The archive round trip (write → decode) is lossless."""
@@ -303,6 +307,174 @@ class TestResume:
         )
         in_memory = run_campaign(config)
         assert on_disk.partial.digest() == in_memory.partial.digest()
+
+
+class TestOutOfCore:
+    """The out-of-core tier: streaming fold, in-process fast path,
+    and day-level chunk reuse on resume."""
+
+    def test_streaming_fold_matches_whole_batch_reference(self):
+        """ShardAccumulator fed day by day reproduces the aggregates
+        computed over the shard's days as one concatenated batch."""
+        from repro.analysis.interarrival import interarrival_columns
+        from repro.campaign import ShardAccumulator
+        from repro.core.columns import (
+            AttributeTable,
+            ColumnClassifier,
+            RecordColumns,
+        )
+        from repro.core.instability import CategoryCounts
+        from repro.workloads.generator import campaign_generator
+
+        config = fast_config(days=4, shards=1)
+        spec = config.shard_plan()[0]
+
+        accumulator = ShardAccumulator(config, spec)
+        generator = campaign_generator(
+            n_peers=config.n_peers,
+            total_prefixes=config.total_prefixes,
+            population_seed=spec.population_seed,
+            generator_seed=spec.generator_seed,
+        )
+        batches = []
+        for day in spec.days:
+            columns = generator.day_columns(
+                day, pair_fraction=1.0, attrs=AttributeTable()
+            )
+            batches.append(columns)
+            accumulator.fold_day(day, columns)
+        streamed = accumulator.result()
+
+        whole = RecordColumns.concat(batches)
+        codes, policy = ColumnClassifier().classify(whole)
+        assert streamed.records == len(whole)
+        assert (
+            streamed.counts.as_dict()
+            == CategoryCounts.from_codes(codes, policy).as_dict()
+        )
+        # Bins: dense over the shard window, bit-identical.
+        reference_bins = BinnedSeries.from_records(
+            whole,
+            config.bin_width,
+            start=spec.day_lo * 86400.0,
+            end=spec.day_hi * 86400.0,
+        )
+        assert streamed.bins == reference_bins
+        # Inter-arrival: the day-boundary carry recovers every
+        # cross-day gap the whole-batch lexsort sees.
+        whole_hist = histogram_counts(interarrival_columns(whole))
+        assert (streamed.interarrival["TOTAL"] == whole_hist).all()
+        from repro.core.taxonomy import FINE_GRAINED_CATEGORIES
+
+        for category in FINE_GRAINED_CATEGORIES:
+            expected = histogram_counts(
+                interarrival_columns(whole, codes, category)
+            )
+            assert (
+                streamed.interarrival[category.name] == expected
+            ).all()
+
+    def test_single_worker_never_spawns_a_pool(self, monkeypatch):
+        """The workers=1 fast path must not touch multiprocessing."""
+        import repro.campaign.runner as runner_module
+
+        def explode():
+            raise AssertionError("workers=1 spawned a process pool")
+
+        monkeypatch.setattr(runner_module, "_pool_context", explode)
+        result = run_campaign(fast_config(), workers=1)
+        assert result.complete
+
+    def test_shm_handoff_round_trip_verifies_digest(self):
+        from repro.campaign import HandoffError
+        from repro.campaign.handoff import collect_partial, publish_partial
+
+        config = fast_config(days=1, shards=1)
+        spec = config.shard_plan()[0]
+        partial = run_shard(config, spec)[0]
+        handoff = publish_partial(
+            spec, partial.to_payload(), partial.records, [], layout=None
+        )
+        assert handoff.transport in ("shm", "inline")
+        payload = collect_partial(handoff, None, spec)
+        assert (
+            PartialResult.from_payload(payload).digest()
+            == partial.digest()
+        )
+        # A tampered digest must be caught, not merged.
+        handoff2 = publish_partial(
+            spec, partial.to_payload(), partial.records, [], layout=None
+        )
+        handoff2.result_sha256 = "0" * 64
+        with pytest.raises(HandoffError):
+            collect_partial(handoff2, None, spec)
+
+    def test_mid_shard_kill_resumes_at_first_unfinished_day(
+        self, tmp_path
+    ):
+        """A run killed between day chunks leaves a partial chunk
+        trail; the restarted shard reuses the finished days and
+        generates only from the first unfinished one."""
+        from repro.campaign import CampaignHooks, KillRun
+
+        config = fast_config(
+            days=4, shards=1, out=str(tmp_path / "camp")
+        )
+        spec = config.shard_plan()[0]
+
+        def kill_after_day_1(spec_, day, how):
+            if day == 1:
+                raise KillRun("killed after day 1's chunk")
+
+        with pytest.raises(KillRun):
+            run_campaign(
+                config, hooks=CampaignHooks(on_chunk=kill_after_day_1)
+            )
+        layout = CampaignLayout(config.out)
+        # Days 0 and 1 spilled; the manifest never happened.
+        assert layout.completed([spec]) == {}
+        assert layout.first_unfinished_day(spec) == 2
+
+        seen = []
+        resumed = run_campaign(
+            config,
+            resume=True,
+            hooks=CampaignHooks(
+                on_chunk=lambda s, day, how: seen.append((day, how))
+            ),
+        )
+        assert seen == [
+            (0, "loaded"), (1, "loaded"),
+            (2, "generated"), (3, "generated"),
+        ]
+        assert resumed.complete
+        fresh = run_campaign(fast_config(days=4, shards=1))
+        assert resumed.partial.digest() == fresh.partial.digest()
+
+    def test_corrupt_chunk_regenerated_on_resume(self, tmp_path):
+        from repro.core.spill import ChunkCorrupt, verify_chunk
+
+        config = fast_config(
+            days=3, shards=1, out=str(tmp_path / "camp")
+        )
+        run_campaign(config)
+        layout = CampaignLayout(config.out)
+        spec = config.shard_plan()[0]
+        chunk = layout.chunk_path(spec, 1)
+        good = chunk.read_bytes()
+        chunk.write_bytes(good[:100])
+        with pytest.raises(ChunkCorrupt):
+            verify_chunk(chunk)
+        # The manifested shard no longer verifies; resume re-runs it,
+        # reusing the intact chunks and regenerating the damaged day
+        # to identical bytes.
+        assert layout.load_shard(spec) is None
+        assert layout.first_unfinished_day(spec) == 1
+        resumed = run_campaign(config, resume=True)
+        assert resumed.shards_run == 1
+        assert chunk.read_bytes() == good
+        fresh = run_campaign(fast_config(days=3, shards=1))
+        assert resumed.partial.digest() == fresh.partial.digest()
 
 
 class TestCampaignResult:

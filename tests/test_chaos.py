@@ -91,15 +91,15 @@ class TestHooks:
         assert resumed.shards_loaded == 0
         assert resumed.partial.digest() == clean_digest
 
-    def test_corrupted_archive_invalidates_manifested_shard(
+    def test_corrupted_chunk_invalidates_manifested_shard(
         self, tmp_path, clean_digest
     ):
         config = fast_config(out=str(tmp_path / "out"))
         run_campaign(config)
         layout = CampaignLayout(config.out)
         plan = config.shard_plan()
-        archive = layout.archive_path(plan[0])
-        archive.write_bytes(archive.read_bytes()[:100])
+        chunk = layout.chunk_path(plan[0], plan[0].day_lo)
+        chunk.write_bytes(chunk.read_bytes()[:100])
         assert layout.load_shard(plan[0]) is None
         assert layout.load_shard(plan[1]) is not None
         resumed = run_campaign(config, resume=True)

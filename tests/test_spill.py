@@ -1,0 +1,169 @@
+"""Tests for the columnar spill-chunk format (repro.core.spill).
+
+The chunk is the out-of-core campaign's unit of durable state, so the
+properties under test are the ones resume leans on: lossless
+dtype/attribute round-trips, deterministic bytes, zero-copy reads,
+and loud failure (ChunkCorrupt) for every flavor of damage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bgp.attributes import AsPath, Origin, PathAttributes
+from repro.core.columns import (
+    NO_ATTR,
+    RECORD_DTYPE,
+    AttributeTable,
+    RecordColumns,
+)
+from repro.core.spill import (
+    ChunkCorrupt,
+    attribute_from_payload,
+    attribute_payload,
+    read_chunk,
+    verify_chunk,
+    write_chunk,
+)
+
+
+def sample_columns(rows: int = 64, seed: int = 3) -> RecordColumns:
+    rng = np.random.default_rng(seed)
+    table = AttributeTable()
+    attr_ids = [
+        table.intern(
+            PathAttributes(
+                as_path=AsPath((701, 1239 + i)),
+                next_hop=7 + i,
+                med=None if i % 2 else 20,
+                local_pref=None if i % 3 else 120,
+                communities=frozenset({0xFFFFFF01}) if i % 2 else frozenset(),
+            )
+        )
+        for i in range(4)
+    ]
+    data = np.empty(rows, dtype=RECORD_DTYPE)
+    data["time"] = np.sort(rng.uniform(0, 86400, rows))
+    data["peer_id"] = rng.integers(0, 8, rows)
+    data["peer_asn"] = rng.integers(100, 200, rows)
+    data["net"] = rng.integers(0, 2**24, rows)
+    data["plen"] = 24
+    data["kind"] = rng.integers(1, 3, rows)
+    announced = data["kind"] == 1
+    data["attr_id"] = NO_ATTR
+    data["attr_id"][announced] = rng.choice(attr_ids, int(announced.sum()))
+    return RecordColumns(data, table)
+
+
+class TestRoundTrip:
+    def test_data_attrs_and_extra_survive(self, tmp_path):
+        columns = sample_columns()
+        extra = {"day": 12, "campaign": "abc", "state": {"net": [1, 2]}}
+        path = tmp_path / "day-0012.rcol"
+        info = write_chunk(path, columns, extra=extra)
+        assert info.rows == len(columns)
+
+        chunk = read_chunk(path)
+        assert chunk.info.sha256 == info.sha256
+        assert chunk.extra == extra
+        assert (chunk.columns.data == columns.data).all()
+        assert len(chunk.columns.attrs) == len(columns.attrs)
+        for i in range(len(columns.attrs)):
+            assert chunk.columns.attrs[i] == columns.attrs[i]
+
+    def test_read_is_memory_mapped(self, tmp_path):
+        path = tmp_path / "c.rcol"
+        write_chunk(path, sample_columns())
+        data = read_chunk(path).columns.data
+        base = data
+        while getattr(base, "base", None) is not None:
+            if isinstance(base, np.memmap):
+                break
+            base = base.base
+        assert isinstance(base, np.memmap)
+        assert not data.flags.writeable
+
+    def test_chunk_bytes_are_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.rcol", tmp_path / "b.rcol"
+        info_a = write_chunk(a, sample_columns(), extra={"day": 1})
+        info_b = write_chunk(b, sample_columns(), extra={"day": 1})
+        assert a.read_bytes() == b.read_bytes()
+        assert info_a.sha256 == info_b.sha256
+
+    def test_empty_chunk(self, tmp_path):
+        path = tmp_path / "empty.rcol"
+        info = write_chunk(path, RecordColumns.empty())
+        assert info.rows == 0
+        chunk = read_chunk(path)
+        assert len(chunk.columns) == 0
+        assert verify_chunk(path).sha256 == info.sha256
+
+    def test_attribute_codec_covers_every_field(self):
+        attrs = PathAttributes(
+            as_path=AsPath((701, 1239, 3561)),
+            next_hop=0x0A000001,
+            origin=Origin.EGP,
+            med=30,
+            local_pref=200,
+            communities=frozenset({0xFFFFFF01, 0xFFFFFF02}),
+            atomic_aggregate=True,
+            aggregator=(701, 42),
+        )
+        assert attribute_from_payload(attribute_payload(attrs)) == attrs
+
+
+class TestCorruption:
+    def test_truncation_detected(self, tmp_path):
+        path = tmp_path / "c.rcol"
+        write_chunk(path, sample_columns())
+        good = path.read_bytes()
+        for keep in (0, 4, 100, len(good) - 1):
+            path.write_bytes(good[:keep])
+            with pytest.raises(ChunkCorrupt):
+                read_chunk(path)
+
+    def test_every_bit_flip_region_detected(self, tmp_path):
+        path = tmp_path / "c.rcol"
+        write_chunk(path, sample_columns())
+        good = path.read_bytes()
+        # Magic, data segment, footer, trailer: one flip in each.
+        for offset in (0, 32, len(good) - 40, len(good) - 4):
+            bad = bytearray(good)
+            bad[offset] ^= 0x40
+            path.write_bytes(bytes(bad))
+            with pytest.raises(ChunkCorrupt):
+                read_chunk(path)
+        path.write_bytes(good)
+        assert verify_chunk(path).rows == 64
+
+    def test_garbage_and_missing_files_detected(self, tmp_path):
+        path = tmp_path / "c.rcol"
+        path.write_bytes(b"{not a chunk at all}")
+        with pytest.raises(ChunkCorrupt):
+            verify_chunk(path)
+        with pytest.raises(ChunkCorrupt):
+            verify_chunk(tmp_path / "absent.rcol")
+
+    def test_stale_footer_metadata_detected(self, tmp_path):
+        """Editing footer metadata (even keeping valid JSON) breaks
+        the digest, which covers meta as well as data."""
+        path = tmp_path / "c.rcol"
+        write_chunk(path, sample_columns(), extra={"day": 1})
+        good = path.read_bytes()
+        bad = good.replace(b'"day":1', b'"day":2')
+        assert bad != good
+        path.write_bytes(bad)
+        with pytest.raises(ChunkCorrupt):
+            read_chunk(path)
+
+    def test_unverified_read_skips_digest(self, tmp_path):
+        """verify=False trades safety for speed (used nowhere in the
+        campaign, but the escape hatch must actually skip the hash)."""
+        path = tmp_path / "c.rcol"
+        write_chunk(path, sample_columns())
+        good = bytearray(path.read_bytes())
+        good[16] ^= 1  # flip inside the data segment
+        path.write_bytes(bytes(good))
+        chunk = read_chunk(path, verify=False)  # loads without raising
+        assert len(chunk.columns) == 64
+        with pytest.raises(ChunkCorrupt):
+            read_chunk(path, verify=True)

@@ -1,7 +1,10 @@
 #!/usr/bin/env python3
-"""Differential simulator benchmark: calendar-queue vs reference heap.
+"""Differential simulator benchmark: calendar-queue vs reference heap,
+plus the parallel multi-exchange probe.
 
-Three scenarios, each run on both schedulers with identical seeds:
+The scenario bodies live in :mod:`repro.sim.scenarios` (they are the
+same workloads ``repro.sim.simulate`` runs); this harness times them
+on both schedulers with identical seeds:
 
 - **sync-population** — the paper's §4.2 shape: a large population of
   unjittered 30-second interval timers in a handful of phase cohorts
@@ -15,7 +18,9 @@ Three scenarios, each run on both schedulers with identical seeds:
   event — including every entry that was already cancelled.
 - **flap-storm** — the full router mesh cascade
   (:class:`repro.sim.flapstorm.FlapStormScenario`): CPU queues,
-  sessions, MRAI batching, and lots of cancelled/stale work.
+  sessions, MRAI batching, and lots of cancelled/stale work.  Dense
+  irregular timestamps (mostly singleton buckets) — the adaptive
+  scheduler must trip to its heap fallback and stay >= 1x here.
 - **table-dump** — a hub router repeatedly dumping its table to peers
   over ``wire=True`` links through forced session bounces: the
   memoized codec's target (identical UPDATE bytes re-sent per peer per
@@ -23,8 +28,15 @@ Three scenarios, each run on both schedulers with identical seeds:
 
 For every scenario the two engines must produce *identical* digests
 (event counts, final clocks, and full route/firing state) — the
-timings are only reported once equivalence holds.  The acceptance bar
-is >= 5x events/sec on sync-population.
+timings are only reported once equivalence holds.  The acceptance
+bars: >= 5x events/sec on sync-population, >= 1x on flap-storm.
+
+The **parallel probe** runs the partitioned multi-exchange day
+(:mod:`repro.sim.parallel`): always a 2-worker digest-parity check
+against the single-engine oracle at smoke scale; on boxes with >= 4
+CPUs (full mode) also the timed 5-exchange 90-provider day, bar
+>= 2.5x over the single-engine calendar run.  Below 4 CPUs the timing
+bar is skipped and ``bar_skipped_reason`` records why.
 
 Run:  PYTHONPATH=src python benchmarks/bench_sim.py [--smoke]
       PYTHONPATH=src python benchmarks/run_bench.py --sim
@@ -34,207 +46,41 @@ from __future__ import annotations
 
 import argparse
 import gc
-import hashlib
 import json
-import random
+import os
 import time
 from pathlib import Path
 
-from repro.core.classifier import route_state_digest
-from repro.net.prefix import Prefix
 from repro.sim.engine import Engine
-from repro.sim.flapstorm import FlapStormScenario
-from repro.sim.link import Link
+from repro.sim.parallel import ParallelDriver
 from repro.sim.refengine import ReferenceEngine
-from repro.sim.router import Router, connect
-from repro.sim.timers import IntervalTimer
-
-#: Scenario sizes: (full, smoke).
-_SYNC_TIMERS = (5000, 160)
-_SYNC_HOLD_ACTORS = (9000, 80)
-_SYNC_DURATION = (1200.0, 300.0)
-_STORM_SIZE = ((8, 30, 150, 240.0), (4, 10, 40, 120.0))
-_DUMP_SIZE = ((600, 12, 6), (120, 4, 2))
-
-_PHASE_COHORTS = 8
-_JITTERED_FRACTION = 0.025
-
-
-def _noop() -> None:
-    """The measured work is the timer machinery itself (fire_count)."""
-
-
-class _HoldTimerActor:
-    """The BGP hold-timer reset pattern: every keepalive cancels the
-    pending timeout and schedules a fresh one — in steady state the
-    timeout never fires and the queue fills with dead entries."""
-
-    __slots__ = ("engine", "hold_time", "expired", "_pending", "_expire_cb")
-
-    def __init__(self, engine, hold_time: float) -> None:
-        self.engine = engine
-        self.hold_time = hold_time
-        self.expired = 0
-        self._pending = None
-        self._expire_cb = self._expire
-
-    def keepalive(self) -> None:
-        if self._pending is not None:
-            self._pending.cancel()
-        self._pending = self.engine.schedule(self.hold_time, self._expire_cb)
-
-    def _expire(self) -> None:
-        self.expired += 1
-
-
-def _digest(*parts) -> str:
-    return hashlib.sha256(repr(parts).encode()).hexdigest()
-
-
-def _router_state(router: Router):
-    """Adj-RIB-In entries of one router in route_state_digest form."""
-    adj_in = router.loc_rib.adj_in
-    return [
-        ((peer, prefix.network, prefix.length), True, True, attrs)
-        for peer in adj_in.peers()
-        for prefix, attrs in adj_in.routes_from(peer).items()
-    ]
-
-
-# ---------------------------------------------------------------------------
-# scenarios — each takes an engine class, returns (events, digest)
-# ---------------------------------------------------------------------------
-
-def scenario_sync_population(engine_cls, smoke: bool):
-    size = _SYNC_TIMERS[smoke]
-    n_actors = _SYNC_HOLD_ACTORS[smoke]
-    duration = _SYNC_DURATION[smoke]
-    engine = engine_cls()
-    timers = []
-    n_jittered = int(size * _JITTERED_FRACTION)
-    for i in range(size):
-        if i < n_jittered:
-            timer = IntervalTimer(
-                engine, 30.0, _noop, jitter=0.25, rng=random.Random(1000 + i)
-            )
-        else:
-            # Phase cohorts: hundreds of timers share each firing
-            # instant — the unjittered vendor-timer population.
-            timer = IntervalTimer(
-                engine, 30.0, _noop, phase=float(i % _PHASE_COHORTS)
-            )
-        timer.start()
-        timers.append(timer)
-
-    # Hold-timer cohort: phase-aligned keepalives, each reset leaving
-    # a dead 90 s timeout behind (the lazy-cancellation workload).
-    actors = []
-    for i in range(n_actors):
-        actor = _HoldTimerActor(engine, hold_time=600.0)
-        timer = IntervalTimer(
-            engine, 30.0, actor.keepalive, phase=float(i % _PHASE_COHORTS)
-        )
-        timer.start()
-        timers.append(timer)
-        actors.append(actor)
-
-    # Churn: every 300 s stop a seeded slice of the population and
-    # restart it 60 s later, leaving cancelled handles in the queue
-    # (the lazy-cancellation workload).
-    churn_rng = random.Random(7)
-
-    def churn():
-        victims = churn_rng.sample(range(size), size // 10)
-        for index in victims:
-            timers[index].stop()
-        engine.schedule(60.0, restart, tuple(victims))
-        if engine.now + 300.0 <= duration:
-            engine.schedule(300.0, churn)
-
-    def restart(victims):
-        for index in victims:
-            timers[index].start()
-
-    engine.schedule(300.0, churn)
-    engine.run_until(duration)
-    digest = _digest(
-        engine.events_processed,
-        round(engine.now, 9),
-        tuple(t.fire_count for t in timers),
-        tuple(a.expired for a in actors),
-    )
-    return engine.events_processed, digest
-
-
-def scenario_flap_storm(engine_cls, smoke: bool):
-    n_routers, per_router, flaps, observe = _STORM_SIZE[smoke]
-    engine = engine_cls()
-    scenario = FlapStormScenario(
-        n_routers=n_routers,
-        prefixes_per_router=per_router,
-        seed=7,
-        engine=engine,
-    )
-    result = scenario.run_storm(
-        flaps=flaps, over_seconds=10.0, observe_for=observe
-    )
-    rib_digests = tuple(
-        route_state_digest(_router_state(router))
-        for router in scenario.routers
-    )
-    digest = _digest(
-        engine.events_processed,
-        round(engine.now, 9),
-        result.session_drops,
-        result.total_updates_sent,
-        result.crashes,
-        tuple(round(t, 9) for t in result.drop_times),
-        rib_digests,
-    )
-    return engine.events_processed, digest
-
-
-def scenario_table_dump(engine_cls, smoke: bool):
-    n_prefixes, n_peers, bounces = _DUMP_SIZE[smoke]
-    engine = engine_cls()
-    hub = Router(engine, asn=100, router_id=(10 << 24) + 1)
-    base = 20 * (1 << 24)
-    for i in range(n_prefixes):
-        hub.originate(Prefix(base + i * 256, 24))
-    peers, links = [], []
-    for i in range(n_peers):
-        peer = Router(engine, asn=200 + i, router_id=(10 << 24) + 100 + i)
-        link = Link(engine, delay=0.01, wire=True)
-        connect(hub, peer, link=link)
-        peers.append(peer)
-        links.append(link)
-    engine.run_until(120.0)
-    # Bounce every session repeatedly: each re-establishment re-dumps
-    # the identical table over the wire (memoized-encode territory).
-    for cycle in range(bounces):
-        at = engine.now
-        for link in links:
-            engine.schedule_at(at + 1.0, link.go_down)
-            engine.schedule_at(at + 3.0, link.go_up)
-        engine.run_until(at + 120.0)
-    digest = _digest(
-        engine.events_processed,
-        round(engine.now, 9),
-        tuple(route_state_digest(_router_state(peer)) for peer in peers),
-        tuple(link.bytes_carried for link in links),
-        tuple(link.messages_delivered for link in links),
-        tuple(link.messages_lost for link in links),
-        hub.updates_sent,
-        hub.suppressed_outputs,
-    )
-    return engine.events_processed, digest
-
-
-SCENARIOS = (
-    ("sync_population", scenario_sync_population),
-    ("flap_storm", scenario_flap_storm),
-    ("table_dump", scenario_table_dump),
+from repro.sim.scenarios import (
+    day_config,
+    run_exchange_day,
+    scenario_flap_storm,
+    scenario_sync_population,
+    scenario_table_dump,
 )
+
+#: The differential single-engine scenarios and their speedup bars
+#: (None = record only).
+SCENARIOS = (
+    ("sync_population", scenario_sync_population, 5.0),
+    ("flap_storm", scenario_flap_storm, 1.0),
+    ("table_dump", scenario_table_dump, None),
+)
+
+#: Minimum CPUs for the timed parallel bar, and its speedup target.
+_PARALLEL_MIN_CPUS = 4
+_PARALLEL_BAR = 2.5
+_PARALLEL_WORKERS = 4
+
+
+def _available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
 
 
 # ---------------------------------------------------------------------------
@@ -267,6 +113,84 @@ def _time_scenario(fn, smoke: bool, repeats: int):
     return results[ReferenceEngine], results[Engine]
 
 
+def _timed(fn, *args):
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        result = fn(*args)
+        return result, time.perf_counter() - start
+    finally:
+        gc.enable()
+
+
+def _parallel_probe(smoke: bool) -> dict:
+    """The partitioned-day section: digest parity always, the timed
+    4-worker bar only with enough CPUs and in full mode."""
+    cpus = _available_cpus()
+    probe: dict = {"cpus": cpus}
+
+    # Parity: 2 real worker processes vs the single-engine oracle at
+    # smoke scale (cheap enough to run everywhere, every time).
+    config = day_config(smoke=True)
+    (events, digest), single_seconds = _timed(
+        run_exchange_day, Engine, config
+    )
+    with ParallelDriver(config, workers=2) as driver:
+        driver.run()
+        result = driver.finish()
+    probe["parity"] = {
+        "workers": result.workers,
+        "windows": result.windows,
+        "events": result.events,
+        "single_seconds": round(single_seconds, 4),
+        "digest": result.digest,
+        "digests_identical": (
+            result.digest == digest and result.events == events
+        ),
+    }
+
+    timed_bar = not smoke and cpus >= _PARALLEL_MIN_CPUS
+    if not timed_bar:
+        probe["bar_enforced"] = False
+        probe["bar_skipped_reason"] = (
+            "smoke mode (digest parity only)"
+            if smoke
+            else f"{cpus} CPU(s) < {_PARALLEL_MIN_CPUS} required "
+                 f"for the timed {_PARALLEL_BAR}x bar"
+        )
+        return probe
+
+    full = day_config()
+    (f_events, f_digest), f_single = _timed(run_exchange_day, Engine, full)
+    workers = min(_PARALLEL_WORKERS, cpus)
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        with ParallelDriver(full, workers=workers) as driver:
+            driver.run()
+            f_result = driver.finish()
+        f_parallel = time.perf_counter() - start
+    finally:
+        gc.enable()
+    speedup = f_single / f_parallel if f_parallel else float("inf")
+    probe["day"] = {
+        "workers": workers,
+        "windows": f_result.windows,
+        "events": f_result.events,
+        "single_seconds": round(f_single, 4),
+        "parallel_seconds": round(f_parallel, 4),
+        "speedup": round(speedup, 2),
+        "digests_identical": (
+            f_result.digest == f_digest and f_result.events == f_events
+        ),
+    }
+    probe["bar_enforced"] = True
+    probe["bar"] = f">= {_PARALLEL_BAR}x on the 5-exchange day"
+    return probe
+
+
 def run_sim_bench(args) -> None:
     smoke = bool(getattr(args, "smoke", False))
     repeats = 1 if smoke else args.repeats
@@ -275,7 +199,7 @@ def run_sim_bench(args) -> None:
 
     scenarios = {}
     all_identical = True
-    for name, fn in SCENARIOS:
+    for name, fn, bar in SCENARIOS:
         (
             (ref_seconds, ref_events, ref_digest),
             (new_seconds, new_events, new_digest),
@@ -290,6 +214,7 @@ def run_sim_bench(args) -> None:
             "reference_events_per_sec": round(ref_events / ref_seconds),
             "engine_events_per_sec": round(new_events / new_seconds),
             "speedup": round(speedup, 2),
+            "speedup_bar": bar,
             "digest": new_digest,
             "digests_identical": identical,
         }
@@ -303,27 +228,58 @@ def run_sim_bench(args) -> None:
             print(f"    reference: {ref_events} events, {ref_digest}")
             print(f"    calendar:  {new_events} events, {new_digest}")
 
+    parallel = _parallel_probe(smoke)
+    parity = parallel["parity"]
+    all_identical = all_identical and parity["digests_identical"]
+    print(
+        f"  parallel parity: {parity['events']:,} events over "
+        f"{parity['windows']} windows, {parity['workers']} workers "
+        f"({'identical' if parity['digests_identical'] else 'MISMATCH'})"
+    )
+    if "day" in parallel:
+        day = parallel["day"]
+        all_identical = all_identical and day["digests_identical"]
+        print(
+            f"  parallel day: single {day['single_seconds']:.1f}s -> "
+            f"{day['workers']} workers {day['parallel_seconds']:.1f}s "
+            f"({day['speedup']:.2f}x)"
+        )
+    else:
+        print(f"  parallel day bar: {parallel['bar_skipped_reason']}")
+
     sync_speedup = scenarios["sync_population"]["speedup"]
     bar_enforced = not smoke and not getattr(args, "no_bar", False)
     payload = {
         "scenarios": scenarios,
+        "parallel": parallel,
         "digests_identical": all_identical,
         "speedup_sync_population": sync_speedup,
         "repeats": repeats,
         "timing": "best (minimum) of repeats per engine",
-        "bar": ">= 5x events/sec on sync_population, digests identical "
-               "on all scenarios",
+        "bar": ">= 5x events/sec on sync_population, >= 1x on "
+               "flap_storm, digests identical on all scenarios and "
+               "the parallel parity check",
         "bar_enforced": bar_enforced,
         "smoke": smoke,
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"Wrote {args.output}")
     if not all_identical:
-        raise SystemExit("old and new engines disagree — see digests above")
-    if bar_enforced and sync_speedup < 5.0:
-        raise SystemExit(
-            f"sync_population speedup {sync_speedup:.2f}x below the 5x bar"
-        )
+        raise SystemExit("engines disagree — see digests above")
+    if bar_enforced:
+        for name, entry in scenarios.items():
+            bar = entry["speedup_bar"]
+            if bar is not None and entry["speedup"] < bar:
+                raise SystemExit(
+                    f"{name} speedup {entry['speedup']:.2f}x below "
+                    f"the {bar}x bar"
+                )
+        day = parallel.get("day")
+        if day is not None and day["speedup"] < _PARALLEL_BAR:
+            raise SystemExit(
+                f"parallel day speedup {day['speedup']:.2f}x below "
+                f"the {_PARALLEL_BAR}x bar"
+            )
 
 
 def main() -> None:
@@ -335,7 +291,7 @@ def main() -> None:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
         "--no-bar", action="store_true",
-        help="record numbers without enforcing the speedup bar",
+        help="record numbers without enforcing the speedup bars",
     )
     parser.add_argument("--output", default=None)
     args = parser.parse_args()

@@ -26,7 +26,7 @@ def run_one(keepalive_priority: bool):
         keepalive_priority=keepalive_priority,
         seed=1,
     )
-    result = scenario.run_storm(flaps=600, over_seconds=20.0)
+    result = scenario.storm(flaps=600, over_seconds=20.0)
     return scenario, result
 
 

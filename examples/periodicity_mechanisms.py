@@ -80,7 +80,7 @@ def main() -> None:
     print("Mechanism 3: Floyd-Jacobson self-synchronization")
     for jitter in (0.0, 0.25):
         study = SynchronizationStudy(jitter=jitter, seed=7)
-        study.run(24 * 3600.0)
+        study.advance(24 * 3600.0)
         label = "unjittered" if jitter == 0.0 else f"jitter={jitter}"
         print(
             f"  {label:12s} phase coherence after 24h: "

@@ -32,7 +32,7 @@ def main() -> None:
         hold_time=30.0,
         seed=1,
     )
-    result = scenario.run_storm(flaps=600, over_seconds=20.0)
+    result = scenario.storm(flaps=600, over_seconds=20.0)
     print(f"  session losses: {result.session_drops}")
     print(f"  updates sent:   {result.total_updates_sent:,}")
     print()

@@ -260,7 +260,7 @@ def run_synchronization_study(hours: float = 24.0) -> ExperimentResult:
     for seed in (3, 7, 11):
         for jitter, bucket in ((0.0, unjittered), (0.25, jittered)):
             study = SynchronizationStudy(jitter=jitter, seed=seed)
-            study.run(hours * 3600.0)
+            study.advance(hours * 3600.0)
             coherence = study.final_coherence()
             bucket.append(coherence)
             table.add_row(str(jitter), seed, round(coherence, 3))
@@ -575,8 +575,8 @@ def run_storm_study(seed: int = 1) -> ExperimentResult:
     protected = FlapStormScenario(
         cpu=CpuModel(**cpu), keepalive_priority=True, **kwargs
     )
-    storm = vulnerable.run_storm(flaps=600, over_seconds=20.0)
-    calm = protected.run_storm(flaps=600, over_seconds=20.0)
+    storm = vulnerable.storm(flaps=600, over_seconds=20.0)
+    calm = protected.storm(flaps=600, over_seconds=20.0)
     result = ExperimentResult(
         "ablation-storm",
         "Route-flap storms and the keepalive-priority fix",

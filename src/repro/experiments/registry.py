@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..core.report import ExperimentResult
+from ..sim.scenarios import simulate
 from . import (
     ablations,
     crossexchange,
@@ -70,6 +71,42 @@ def _seeded(fn: Callable[..., ExperimentResult], default_seed: int):
 
     def runner(config: Optional["CampaignConfig"] = None) -> ExperimentResult:
         return fn(seed=default_seed if config is None else config.seed)
+
+    return runner
+
+
+def _sim_scenario(name: str):
+    """Adapt a named simulator scenario (see
+    :mod:`repro.sim.scenarios`) to the spec signature: run it at smoke
+    scale on the calendar and reference engines and check digest
+    agreement — plus the parallel driver on the partitionable day."""
+
+    def runner(config: Optional["CampaignConfig"] = None) -> ExperimentResult:
+        seed = None if config is None else config.seed
+        calendar = simulate(name, engine="calendar", smoke=True, seed=seed)
+        reference = simulate(name, engine="reference", smoke=True, seed=seed)
+        result = ExperimentResult(
+            experiment_id=f"sim-{name}",
+            description=f"simulator scenario '{name}' (smoke scale)",
+        )
+        result.record("events", calendar.events)
+        result.record(
+            "engines_agree",
+            int(calendar.digest == reference.digest),
+            expect=1,
+        )
+        if name == "multi_exchange_day":
+            parallel = simulate(
+                name, engine="parallel", workers=2, smoke=True, seed=seed
+            )
+            result.record(
+                "parallel_agrees",
+                int(parallel.digest == calendar.digest),
+                expect=1,
+            )
+            result.record("parallel_windows", parallel.windows)
+        result.notes.append(f"run digest {calendar.digest[:16]}")
+        return result
 
     return runner
 
@@ -234,6 +271,38 @@ _SPEC_LIST = [
         "Filtering long prefixes trades away multi-homed\n"
         "reachability for stability (section 3).",
         _seeded(ablations.run_filter_study, 10),
+    ),
+    ExperimentSpec(
+        "sim-sync_population",
+        "Simulator scenario: interval-timer population",
+        "Unjittered 30 s timers in phase cohorts with hold-timer "
+        "resets and churn (section 4.2) — the calendar queue's "
+        "headline workload.",
+        _sim_scenario("sync_population"),
+    ),
+    ExperimentSpec(
+        "sim-flap_storm",
+        "Simulator scenario: route-flap storm cascade",
+        "A CPU-limited router mesh cascading under a flap burst "
+        "(section 3) — the adaptive scheduler's heap-fallback "
+        "workload.",
+        _sim_scenario("flap_storm"),
+    ),
+    ExperimentSpec(
+        "sim-table_dump",
+        "Simulator scenario: repeated table dumps",
+        "Session bounces re-dumping identical tables over the wire "
+        "(section 3) — the memoized codec's workload.",
+        _sim_scenario("table_dump"),
+    ),
+    ExperimentSpec(
+        "sim-multi_exchange_day",
+        "Simulator scenario: partitioned multi-exchange day",
+        "Providers attending several exchanges, customer flaps "
+        "propagating between them after backbone latency (section 5) "
+        "— the parallel driver's scenario, checked against the "
+        "single-engine oracle.",
+        _sim_scenario("multi_exchange_day"),
     ),
 ]
 

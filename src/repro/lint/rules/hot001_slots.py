@@ -13,7 +13,10 @@ millions of events per run) and the RIB data model
 campaign tier joins the list: ``repro.core.spill`` (covered via the
 ``repro/core/`` prefix) plus ``repro.campaign.fold`` and
 ``repro.campaign.handoff`` sit on the per-day spill/fold path and hold
-per-shard accumulator state.  The rule keeps the discipline from
+per-shard accumulator state.  The parallel simulator
+(``repro.sim.partition`` / ``repro.sim.parallel`` — cross-exchange
+messages, partitions, shard ports) is covered via the ``repro/sim/``
+prefix.  The rule keeps the discipline from
 silently eroding: every class in those modules
 declares ``__slots__`` directly or via ``@dataclass(slots=True)``.
 Enums, exceptions, and the other interpreter-managed layouts are

@@ -1,9 +1,15 @@
 """Discrete-event simulation substrate: engine, timers, links, routers,
 route servers, IGP interaction, fault injection, storms, and the
-Floyd-Jacobson synchronization model."""
+Floyd-Jacobson synchronization model.
+
+The unified entry point is :func:`simulate` — named scenarios on named
+engines (``calendar``, ``reference``, or the partitioned ``parallel``
+driver), all implementing the :class:`EventScheduler` protocol and all
+digest-compatible on equal configurations."""
 
 from .engine import Engine, EventHandle, SimulationError
 from .refengine import ReferenceEngine
+from .scheduler import EventScheduler
 from .timers import DEFAULT_MRAI, IntervalTimer, MraiBatcher
 from .link import CsuLink, Link
 from .router import CpuModel, RouteCache, Router, connect
@@ -18,10 +24,20 @@ from .faults import (
 from .flapstorm import FlapStormScenario, StormResult
 from .sync import PeriodicRouter, SynchronizationStudy, phase_coherence
 from .trafficgen import ForwardingWorkload, TrafficStats
+from .partition import (
+    ExchangeDayConfig,
+    ExchangePartition,
+    InlineChannel,
+    min_lookahead,
+    partition_digest,
+)
+from .parallel import ParallelDriver, ParallelResult, ParallelSimError
+from .scenarios import SCENARIOS, SimResult, day_config, simulate
 
 __all__ = [
     "Engine",
     "EventHandle",
+    "EventScheduler",
     "ReferenceEngine",
     "SimulationError",
     "DEFAULT_MRAI",
@@ -48,4 +64,16 @@ __all__ = [
     "phase_coherence",
     "ForwardingWorkload",
     "TrafficStats",
+    "ExchangeDayConfig",
+    "ExchangePartition",
+    "InlineChannel",
+    "min_lookahead",
+    "partition_digest",
+    "ParallelDriver",
+    "ParallelResult",
+    "ParallelSimError",
+    "SCENARIOS",
+    "SimResult",
+    "day_config",
+    "simulate",
 ]

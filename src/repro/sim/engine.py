@@ -41,13 +41,55 @@ Why this shape fits the paper's workloads:
   re-armed in place — the :class:`repro.sim.timers.IntervalTimer` and
   :class:`repro.sim.sync.PeriodicRouter` re-arm paths allocate zero
   objects per period.
+
+Adaptive heap fallback
+----------------------
+The calendar shape loses when distinct-time cardinality explodes: a
+flap storm schedules thousands of events at *irregular* continuous
+times, so nearly every insert allocates a fresh single-handle bucket
+(dict miss + list allocation + float heappush) and every drained
+instant pays a dict lookup, an inner-loop setup, and a bucket
+retirement (dict delete + heappop) for one event.  BENCH_sim.json on
+one box showed flap_storm at 0.82x against the plain reference heap.
+
+The engine therefore runs in one of two modes and migrates between
+them at safe points, preserving (time, seq) order bit-exactly:
+
+- **Calendar mode** (the default) counts retired buckets per
+  ``_ADAPT_WINDOW`` drained events — the detection lives on the
+  *drain* side, after bucket retirement, so the insert fast path pays
+  nothing.  When the singleton fraction (buckets / events) rises above
+  ``_TRIP_MARKS / _ADAPT_WINDOW`` (the storm signature — measured
+  ~0.69 on flap_storm vs ~0.06 on sync_population), the queue migrates
+  to a plain binary heap of ``(time, seq, handle)`` tuples.  Fresh
+  ``seq`` values are assigned bucket-by-bucket in (time, position)
+  order during the migration, so the walk emits an already-sorted
+  list — a valid heap with no ``heapify`` — and positional calendar
+  order becomes numerical heap order.
+- **Heap mode** pays one C-level tuple ``heappush``/``heappop`` per
+  event (no Python ``__lt__`` — the reference engine's cost) and no
+  bucket bookkeeping.  It counts, per ``_ADAPT_WINDOW`` drained
+  events, how many fired at the same instant as their predecessor;
+  when that fraction rises above the same ``_TRIP_MARKS /
+  _ADAPT_WINDOW`` (phase-locked populations re-emerging), the heap is
+  grouped back into calendar buckets.
+
+Both trip conditions key off the shared-instant fraction from opposite
+directions (calendar exits when sharing <= 0.4, heap exits when
+sharing >= 0.6), so no workload satisfies both: the 0.4-0.6 band is
+the hysteresis gap.  Migrations only run at safe points — right after
+a bucket retirement or between heap pops, never inside a bucket
+iteration — and only in the *outermost* drain (a nested ``run_until``
+from a callback must not pull the structures out from under the outer
+loop's locals).  Counters reset on every switch, so flipping requires
+a full window of fresh evidence.
 """
 
 from __future__ import annotations
 
 import itertools
-from heapq import heappop, heappush
-from typing import Any, Callable, Dict, List, Optional
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 __all__ = ["Engine", "EventHandle", "SimulationError"]
 
@@ -59,6 +101,22 @@ __all__ = ["Engine", "EventHandle", "SimulationError"]
 #: future; the high ratio keeps steady-state cancel churn (hold-timer
 #: resets, MRAI re-arms) from ever paying for sweeps.
 _COMPACT_MIN_DEAD = 64
+
+#: Mode-adaptation window: trip decisions are made once per this many
+#: drained events.  Large enough that migrations are rare and the
+#: calendar-mode counters amortize to a fraction of an integer op per
+#: event (they tick per retired *bucket*); small enough to catch a
+#: storm phase within a few thousand events.
+_ADAPT_WINDOW = 512
+
+#: Trip point, used from both directions: calendar mode migrates to
+#: the heap when at least this many of the window's events came from
+#: singleton-ish buckets (buckets retired >= 0.6 * events drained —
+#: flap_storm measures ~0.69, sync_population ~0.06); heap mode
+#: migrates back when at least this many events fired at the same
+#: instant as their predecessor (shared fraction >= 0.6).  A workload
+#: cannot satisfy both, so the 0.4-0.6 sharing band is hysteresis.
+_TRIP_MARKS = 307
 
 
 class SimulationError(RuntimeError):
@@ -112,6 +170,10 @@ class EventHandle:
 #: on a bare instance, skipping the ``__init__`` call frame.
 _new_handle = EventHandle.__new__
 
+#: Heap-mode queue entries.  The handle rides in slot 2 and never
+#: participates in comparisons (seq is unique).
+_HeapEntry = Tuple[float, int, EventHandle]
+
 
 class Engine:
     """The event queue and simulation clock.
@@ -134,6 +196,10 @@ class Engine:
         "_times",
         "_buckets",
         "_head_pos",
+        "_heap",
+        "_heap_mode",
+        "_win_events",
+        "_win_marks",
         "_live",
         "_dead",
         "_in_drain",
@@ -151,6 +217,15 @@ class Engine:
         #: Drain cursor into the earliest bucket (events scheduled *at*
         #: the current instant append behind it and still fire in order).
         self._head_pos = 0
+        #: Heap-fallback queue of (time, seq, handle); populated only
+        #: in heap mode — exactly one of _heap / _buckets is non-empty.
+        self._heap: List[_HeapEntry] = []
+        self._heap_mode = False
+        #: Adaptation counters for the current _ADAPT_WINDOW of drained
+        #: events (calendar: marks = buckets retired; heap: marks =
+        #: same-instant pops); reset on every mode switch.
+        self._win_events = 0
+        self._win_marks = 0
         self._live = 0
         self._dead = 0
         self._in_drain = False
@@ -172,18 +247,21 @@ class Engine:
         time = self._now + delay
         handle = _new_handle(EventHandle)
         handle.time = time
-        handle.seq = next(self._seq)
+        seq = handle.seq = next(self._seq)
         handle.callback = callback
         handle.args = args
         handle.cancelled = False
         handle.fired = False
         handle.engine = self
-        bucket = self._buckets.get(time)
-        if bucket is None:
-            self._buckets[time] = [handle]
-            heappush(self._times, time)
+        if self._heap_mode:
+            heappush(self._heap, (time, seq, handle))
         else:
-            bucket.append(handle)
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                self._buckets[time] = [handle]
+                heappush(self._times, time)
+            else:
+                bucket.append(handle)
         self._live += 1
         return handle
 
@@ -197,18 +275,21 @@ class Engine:
             )
         handle = _new_handle(EventHandle)
         handle.time = time
-        handle.seq = next(self._seq)
+        seq = handle.seq = next(self._seq)
         handle.callback = callback
         handle.args = args
         handle.cancelled = False
         handle.fired = False
         handle.engine = self
-        bucket = self._buckets.get(time)
-        if bucket is None:
-            self._buckets[time] = [handle]
-            heappush(self._times, time)
+        if self._heap_mode:
+            heappush(self._heap, (time, seq, handle))
         else:
-            bucket.append(handle)
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                self._buckets[time] = [handle]
+                heappush(self._times, time)
+            else:
+                bucket.append(handle)
         self._live += 1
         return handle
 
@@ -228,19 +309,32 @@ class Engine:
                 raise SimulationError(
                     f"cannot schedule at {time} before now ({self._now})"
                 )
-            # No new seq: ordering is positional (bucket append order),
-            # so a reused handle keeps its original allocation seq.
             handle.fired = False
             handle.time = time
-            bucket = self._buckets.get(time)
-            if bucket is None:
-                self._buckets[time] = [handle]
-                heappush(self._times, time)
+            if self._heap_mode:
+                # Heap order is numerical, so the reused handle needs a
+                # fresh seq (matching the reference engine's reuse
+                # semantics: re-arming is a new insertion).
+                seq = handle.seq = next(self._seq)
+                heappush(self._heap, (time, seq, handle))
             else:
-                bucket.append(handle)
+                # No new seq: ordering is positional (bucket append
+                # order), so a reused handle keeps its allocation seq.
+                bucket = self._buckets.get(time)
+                if bucket is None:
+                    self._buckets[time] = [handle]
+                    heappush(self._times, time)
+                else:
+                    bucket.append(handle)
             self._live += 1
             return handle
         return self.schedule_at(time, handle.callback, *handle.args)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a pending handle — the :class:`EventScheduler`
+        spelling of ``handle.cancel()`` (no-op once fired or already
+        cancelled)."""
+        handle.cancel()
 
     # -- execution ---------------------------------------------------------------
 
@@ -268,56 +362,143 @@ class Engine:
         cancelled-skip logic (cancelled entries never count against
         ``limit``), shared by :meth:`step`, :meth:`run`, and
         :meth:`run_until` so the paths cannot drift.
+
+        Dispatches to the mode-specific drain and re-enters it when a
+        drain returned because the queue migrated mid-call.  Only the
+        outermost drain executes migrations (nested ``run_until`` calls
+        from callbacks would otherwise pull the structures out from
+        under the outer loop's locals).
         """
-        times = self._times
-        buckets = self._buckets
         fired = 0
         was_draining = self._in_drain
         self._in_drain = True
         try:
-            while times and fired < limit:
-                time = times[0]
-                if time > end_time:
+            while True:
+                heap_mode = self._heap_mode
+                if heap_mode:
+                    fired += self._drain_heap(
+                        end_time, limit - fired, not was_draining
+                    )
+                else:
+                    fired += self._drain_calendar(
+                        end_time, limit - fired, not was_draining
+                    )
+                if self._heap_mode == heap_mode:
                     break
-                bucket = buckets.get(time)
-                if bucket is None:
-                    # Stale heap entry (bucket emptied by compaction or
-                    # retired by next_event_time).
-                    heappop(times)
-                    self._head_pos = 0
-                    continue
-                i = self._head_pos
-                try:
-                    # Callbacks may append same-instant events to this
-                    # very bucket; len() is re-read so they drain in
-                    # this pass.  The cursor is synced before each
-                    # callback (for reentrant ``next_event_time``) and
-                    # on every exit path via ``finally``; cancelled
-                    # skips between callbacks don't pay a store.
-                    while i < len(bucket) and fired < limit:
-                        handle = bucket[i]
-                        i += 1
-                        if handle.cancelled:
-                            self._dead -= 1
-                            continue
-                        handle.fired = True
-                        self._live -= 1
-                        self._now = time
-                        self._head_pos = i
-                        args = handle.args
-                        if args:
-                            handle.callback(*args)
-                        else:
-                            handle.callback()
-                        fired += 1
-                finally:
-                    self._head_pos = i
-                if i < len(bucket):
-                    break  # limit hit mid-bucket; cursor persists
-                self._retire_head(time, bucket)
         finally:
             self._in_drain = was_draining
         self.events_processed += fired
+        return fired
+
+    def _drain_calendar(
+        self, end_time: float, limit: float, outermost: bool
+    ) -> int:
+        """Calendar-mode drain loop.  Counts retired buckets per
+        window of drained events and returns early (mode switched)
+        when the singleton fraction trips the heap fallback."""
+        times = self._times
+        buckets = self._buckets
+        fired = 0
+        while times and fired < limit:
+            time = times[0]
+            if time > end_time:
+                break
+            bucket = buckets.get(time)
+            if bucket is None:
+                # Stale heap entry (bucket emptied by compaction or
+                # retired by next_event_time).
+                heappop(times)
+                self._head_pos = 0
+                continue
+            i = self._head_pos
+            try:
+                # Callbacks may append same-instant events to this
+                # very bucket; len() is re-read so they drain in
+                # this pass.  The cursor is synced before each
+                # callback (for reentrant ``next_event_time``) and
+                # on every exit path via ``finally``; cancelled
+                # skips between callbacks don't pay a store.
+                while i < len(bucket) and fired < limit:
+                    handle = bucket[i]
+                    i += 1
+                    if handle.cancelled:
+                        self._dead -= 1
+                        continue
+                    handle.fired = True
+                    self._live -= 1
+                    self._now = time
+                    self._head_pos = i
+                    args = handle.args
+                    if args:
+                        handle.callback(*args)
+                    else:
+                        handle.callback()
+                    fired += 1
+            finally:
+                self._head_pos = i
+            size = len(bucket)
+            if i < size:
+                break  # limit hit mid-bucket; cursor persists
+            self._retire_head(time, bucket)
+            # Adaptation bookkeeping, per retired bucket (not per
+            # event): a window dominated by singleton buckets is the
+            # storm signature.  len(bucket) counts cancelled skips as
+            # drained work, which is what the calendar is cheap at, so
+            # the proxy errs conservative.
+            self._win_marks += 1
+            events = self._win_events = self._win_events + size
+            if events >= _ADAPT_WINDOW:
+                marks = self._win_marks
+                self._win_events = 0
+                self._win_marks = 0
+                if marks * _ADAPT_WINDOW >= _TRIP_MARKS * events and outermost:
+                    # Safe point: the bucket was fully retired, nothing
+                    # is iterating.  _to_heap empties our locals in
+                    # place; return and let _service_head re-enter.
+                    self._to_heap()
+                    return fired
+        return fired
+
+    def _drain_heap(
+        self, end_time: float, limit: float, outermost: bool
+    ) -> int:
+        """Heap-mode drain loop: one C-level tuple heappop per event.
+        Counts same-instant pops per window and migrates back to
+        calendar mode (returning early) when phase-locked populations
+        re-emerge."""
+        heap = self._heap
+        fired = 0
+        while heap and fired < limit:
+            entry = heap[0]
+            handle = entry[2]
+            if handle.cancelled:
+                heappop(heap)
+                self._dead -= 1
+                continue
+            time = entry[0]
+            if time > end_time:
+                break
+            heappop(heap)
+            handle.fired = True
+            self._live -= 1
+            if time == self._now:
+                self._win_marks += 1
+            events = self._win_events = self._win_events + 1
+            self._now = time
+            args = handle.args
+            if args:
+                handle.callback(*args)
+            else:
+                handle.callback()
+            fired += 1
+            if events >= _ADAPT_WINDOW:
+                marks = self._win_marks
+                self._win_events = 0
+                self._win_marks = 0
+                if marks >= _TRIP_MARKS and outermost:
+                    # Safe point: between pops, nothing iterating.
+                    self._to_calendar()
+                    return fired
         return fired
 
     def _retire_head(self, time: float, bucket: List[EventHandle]) -> None:
@@ -328,12 +509,94 @@ class Engine:
                 heappop(self._times)
         self._head_pos = 0
 
+    # -- mode migration -------------------------------------------------------
+
+    def _to_heap(self) -> None:
+        """Migrate calendar buckets into the fallback heap.
+
+        Walking buckets in ascending time order, and each bucket
+        front-to-back (from the drain cursor, for a partially drained
+        head), visits live handles in exactly their (time, positional)
+        firing order.  Assigning fresh seqs along the walk makes that
+        order numerical — the emitted list is already sorted, hence a
+        valid binary heap with no ``heapify`` — while keeping the
+        monotone seq counter shared with future inserts.
+        """
+        buckets = self._buckets
+        times = self._times
+        seq_counter = self._seq
+        head_pos = self._head_pos
+        head_time = times[0] if (head_pos and times) else None
+        heap = self._heap
+        dead = 0
+        for time in sorted(buckets):
+            bucket = buckets[time]
+            if time == head_time:
+                bucket = bucket[head_pos:]
+            for handle in bucket:
+                if handle.cancelled:
+                    dead += 1
+                    continue
+                seq = handle.seq = next(seq_counter)
+                heap.append((time, seq, handle))
+        buckets.clear()
+        times.clear()
+        self._head_pos = 0
+        self._dead -= dead
+        self._heap_mode = True
+        self._win_events = 0
+        self._win_marks = 0
+
+    def _to_calendar(self) -> None:
+        """Group the fallback heap back into calendar buckets.
+
+        Sorting the (time, seq, handle) entries yields handles in
+        firing order; grouping consecutive equal times rebuilds FIFO
+        buckets whose positional order matches seq order, and appending
+        the distinct times in ascending order leaves ``_times`` sorted
+        — a valid binary heap as-is.
+        """
+        heap = self._heap
+        buckets = self._buckets
+        times = self._times
+        dead = 0
+        last_time = None
+        bucket: List[EventHandle] = []
+        for entry in sorted(heap):
+            handle = entry[2]
+            if handle.cancelled:
+                dead += 1
+                continue
+            time = entry[0]
+            if time != last_time:
+                bucket = buckets[time] = [handle]
+                times.append(time)
+                last_time = time
+            else:
+                bucket.append(handle)
+        heap.clear()
+        self._head_pos = 0
+        self._dead -= dead
+        self._heap_mode = False
+        self._win_events = 0
+        self._win_marks = 0
+
     # -- cancellation bookkeeping ---------------------------------------------
 
     def _compact(self) -> None:
-        """Sweep cancelled handles out of non-head buckets.  Emptied
-        buckets are deleted; their heap entries go stale and are
-        discarded lazily by :meth:`_service_head`."""
+        """Sweep cancelled handles out of the queue.  Calendar mode
+        skips the head bucket (the drain cursor may point into it) and
+        deletes emptied buckets, leaving their heap entries to be
+        discarded lazily by the drain; heap mode filters and
+        re-heapifies in place (safe mid-drain — the drain loop aliases
+        the same list object)."""
+        if self._heap_mode:
+            heap = self._heap
+            live_entries = [e for e in heap if not e[2].cancelled]
+            self._dead -= len(heap) - len(live_entries)
+            heap[:] = live_entries
+            heapify(heap)
+            return
         buckets = self._buckets
         head = buckets.get(self._times[0]) if self._times else None
         removed = 0
@@ -362,10 +625,30 @@ class Engine:
     def next_event_time(self) -> Optional[float]:
         """When the next live event fires, or None.
 
-        O(1) amortized: peeks the earliest bucket, lazily retiring
-        buckets whose remaining entries are all cancelled.  During an
-        active drain the structure is left untouched (read-only scan).
+        O(1) amortized: peeks the earliest bucket (or heap entry),
+        lazily retiring dead entries.  During an active drain the
+        structure is left untouched (read-only scan).
         """
+        if self._heap_mode:
+            heap = self._heap
+            if self._in_drain:
+                if heap and not heap[0][2].cancelled:
+                    return heap[0][0]
+                best = None
+                for entry in heap:
+                    if not entry[2].cancelled and (
+                        best is None or entry[0] < best
+                    ):
+                        best = entry[0]
+                return best
+            while heap:
+                entry = heap[0]
+                if entry[2].cancelled:
+                    heappop(heap)
+                    self._dead -= 1
+                    continue
+                return entry[0]
+            return None
         times = self._times
         buckets = self._buckets
         if self._in_drain:

@@ -82,6 +82,12 @@ class ReferenceEngine:
             return handle
         return self.schedule_at(time, handle.callback, *handle.args)
 
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a pending handle — the :class:`EventScheduler`
+        spelling of ``handle.cancel()`` (no-op once fired or already
+        cancelled)."""
+        handle.cancel()
+
     # -- execution ---------------------------------------------------------------
 
     def step(self) -> bool:

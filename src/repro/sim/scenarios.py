@@ -1,0 +1,393 @@
+"""Named simulation scenarios and the :func:`simulate` façade.
+
+Every simulator workload the repo measures or tests lives here, keyed
+by name, runnable on any :class:`~repro.sim.scheduler.EventScheduler`
+implementation:
+
+- ``sync_population`` — the §4.2 timer population: phase-cohort
+  unjittered 30 s interval timers, a jittered minority, the BGP
+  hold-timer reset pattern (lazy-cancelled timeouts), periodic
+  stop/start churn.
+- ``flap_storm`` — the §3 router-mesh cascade
+  (:class:`~repro.sim.flapstorm.FlapStormScenario`).
+- ``table_dump`` — a hub re-dumping its table over ``wire=True`` links
+  through forced session bounces (the memoized codec's target).
+- ``multi_exchange_day`` — the partitionable multi-exchange day
+  (:mod:`repro.sim.partition`); the only scenario the ``parallel``
+  engine accepts.
+
+:func:`simulate` is the single entry point:
+
+    >>> simulate("flap_storm", engine="reference", smoke=True)
+    >>> simulate("multi_exchange_day", engine="parallel", workers=4)
+
+Scenario runners return ``(events, digest)`` where the digest covers
+the full observable outcome (event counts, clocks, route state,
+firing counts), so two engines agree on a scenario iff their digests
+are equal — the property the differential benchmark and the
+equivalence tests are built on.  Runners accept an optional ``seed``;
+``None`` keeps each scenario's published default draws (the pinned
+golden digests).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core.classifier import route_state_digest
+from ..net.prefix import Prefix
+from .engine import Engine, SimulationError
+from .flapstorm import FlapStormScenario
+from .link import Link
+from .parallel import ParallelDriver
+from .partition import (
+    ExchangeDayConfig,
+    ExchangePartition,
+    InlineChannel,
+    combined_digest,
+    partition_digest,
+)
+from .refengine import ReferenceEngine
+from .router import Router, connect
+from .timers import IntervalTimer
+
+__all__ = [
+    "SCENARIOS",
+    "SimResult",
+    "day_config",
+    "scenario_flap_storm",
+    "scenario_multi_exchange_day",
+    "scenario_sync_population",
+    "scenario_table_dump",
+    "simulate",
+]
+
+#: Scenario sizes: (full, smoke) — indexable by a bool.
+_SYNC_TIMERS = (5000, 160)
+_SYNC_HOLD_ACTORS = (9000, 80)
+_SYNC_DURATION = (1200.0, 300.0)
+_STORM_SIZE = ((8, 30, 150, 240.0), (4, 10, 40, 120.0))
+_DUMP_SIZE = ((600, 12, 6), (120, 4, 2))
+
+_PHASE_COHORTS = 8
+_JITTERED_FRACTION = 0.025
+
+
+def _noop() -> None:
+    """The measured work is the timer machinery itself (fire_count)."""
+
+
+class _HoldTimerActor:
+    """The BGP hold-timer reset pattern: every keepalive cancels the
+    pending timeout and schedules a fresh one — in steady state the
+    timeout never fires and the queue fills with dead entries."""
+
+    __slots__ = ("engine", "hold_time", "expired", "_pending", "_expire_cb")
+
+    def __init__(self, engine, hold_time: float) -> None:
+        self.engine = engine
+        self.hold_time = hold_time
+        self.expired = 0
+        self._pending = None
+        self._expire_cb = self._expire
+
+    def keepalive(self) -> None:
+        if self._pending is not None:
+            self._pending.cancel()
+        self._pending = self.engine.schedule(self.hold_time, self._expire_cb)
+
+    def _expire(self) -> None:
+        self.expired += 1
+
+
+def _digest(*parts) -> str:
+    return hashlib.sha256(repr(parts).encode()).hexdigest()
+
+
+def _router_state(router: Router):
+    """Adj-RIB-In entries of one router in route_state_digest form."""
+    adj_in = router.loc_rib.adj_in
+    return [
+        ((peer, prefix.network, prefix.length), True, True, attrs)
+        for peer in adj_in.peers()
+        for prefix, attrs in adj_in.routes_from(peer).items()
+    ]
+
+
+# ---------------------------------------------------------------------------
+# scenario runners — (engine_cls, smoke, seed) -> (events, digest)
+# ---------------------------------------------------------------------------
+
+def scenario_sync_population(
+    engine_cls, smoke: bool, seed: Optional[int] = None
+):
+    size = _SYNC_TIMERS[smoke]
+    n_actors = _SYNC_HOLD_ACTORS[smoke]
+    duration = _SYNC_DURATION[smoke]
+    jitter_base = 1000 if seed is None else 1000 + seed * 100_003
+    churn_seed = 7 if seed is None else seed
+    engine = engine_cls()
+    timers = []
+    n_jittered = int(size * _JITTERED_FRACTION)
+    for i in range(size):
+        if i < n_jittered:
+            timer = IntervalTimer(
+                engine,
+                30.0,
+                _noop,
+                jitter=0.25,
+                rng=random.Random(jitter_base + i),
+            )
+        else:
+            # Phase cohorts: hundreds of timers share each firing
+            # instant — the unjittered vendor-timer population.
+            timer = IntervalTimer(
+                engine, 30.0, _noop, phase=float(i % _PHASE_COHORTS)
+            )
+        timer.start()
+        timers.append(timer)
+
+    # Hold-timer cohort: phase-aligned keepalives, each reset leaving
+    # a dead 600 s timeout behind (the lazy-cancellation workload).
+    actors = []
+    for i in range(n_actors):
+        actor = _HoldTimerActor(engine, hold_time=600.0)
+        timer = IntervalTimer(
+            engine, 30.0, actor.keepalive, phase=float(i % _PHASE_COHORTS)
+        )
+        timer.start()
+        timers.append(timer)
+        actors.append(actor)
+
+    # Churn: every 300 s stop a seeded slice of the population and
+    # restart it 60 s later, leaving cancelled handles in the queue.
+    churn_rng = random.Random(churn_seed)
+
+    def churn():
+        victims = churn_rng.sample(range(size), size // 10)
+        for index in victims:
+            timers[index].stop()
+        engine.schedule(60.0, restart, tuple(victims))
+        if engine.now + 300.0 <= duration:
+            engine.schedule(300.0, churn)
+
+    def restart(victims):
+        for index in victims:
+            timers[index].start()
+
+    engine.schedule(300.0, churn)
+    engine.run_until(duration)
+    digest = _digest(
+        engine.events_processed,
+        round(engine.now, 9),
+        tuple(t.fire_count for t in timers),
+        tuple(a.expired for a in actors),
+    )
+    return engine.events_processed, digest
+
+
+def scenario_flap_storm(
+    engine_cls, smoke: bool, seed: Optional[int] = None
+):
+    n_routers, per_router, flaps, observe = _STORM_SIZE[smoke]
+    engine = engine_cls()
+    scenario = FlapStormScenario(
+        n_routers=n_routers,
+        prefixes_per_router=per_router,
+        seed=7 if seed is None else seed,
+        engine=engine,
+    )
+    result = scenario.storm(
+        flaps=flaps, over_seconds=10.0, observe_for=observe
+    )
+    rib_digests = tuple(
+        route_state_digest(_router_state(router))
+        for router in scenario.routers
+    )
+    digest = _digest(
+        engine.events_processed,
+        round(engine.now, 9),
+        result.session_drops,
+        result.total_updates_sent,
+        result.crashes,
+        tuple(round(t, 9) for t in result.drop_times),
+        rib_digests,
+    )
+    return engine.events_processed, digest
+
+
+def scenario_table_dump(
+    engine_cls, smoke: bool, seed: Optional[int] = None
+):
+    # Fully deterministic — no draws, so ``seed`` has nothing to vary.
+    n_prefixes, n_peers, bounces = _DUMP_SIZE[smoke]
+    engine = engine_cls()
+    hub = Router(engine, asn=100, router_id=(10 << 24) + 1)
+    base = 20 * (1 << 24)
+    for i in range(n_prefixes):
+        hub.originate(Prefix(base + i * 256, 24))
+    peers, links = [], []
+    for i in range(n_peers):
+        peer = Router(engine, asn=200 + i, router_id=(10 << 24) + 100 + i)
+        link = Link(engine, delay=0.01, wire=True)
+        connect(hub, peer, link=link)
+        peers.append(peer)
+        links.append(link)
+    engine.run_until(120.0)
+    # Bounce every session repeatedly: each re-establishment re-dumps
+    # the identical table over the wire (memoized-encode territory).
+    for cycle in range(bounces):
+        at = engine.now
+        for link in links:
+            engine.schedule_at(at + 1.0, link.go_down)
+            engine.schedule_at(at + 3.0, link.go_up)
+        engine.run_until(at + 120.0)
+    digest = _digest(
+        engine.events_processed,
+        round(engine.now, 9),
+        tuple(route_state_digest(_router_state(peer)) for peer in peers),
+        tuple(link.bytes_carried for link in links),
+        tuple(link.messages_delivered for link in links),
+        tuple(link.messages_lost for link in links),
+        hub.updates_sent,
+        hub.suppressed_outputs,
+    )
+    return engine.events_processed, digest
+
+
+def day_config(
+    smoke: bool = False, seed: Optional[int] = None
+) -> ExchangeDayConfig:
+    """The multi-exchange-day presets: the full 5-exchange 90-provider
+    day, or a minutes-long 3-exchange smoke configuration."""
+    base_seed = 7 if seed is None else seed
+    if smoke:
+        return ExchangeDayConfig(
+            exchanges=3,
+            providers=9,
+            prefixes_per_provider=2,
+            settle=60.0,
+            duration=900.0,
+            seed=base_seed,
+            flap_rate=1.0 / 120.0,
+            down_time=20.0,
+        )
+    return ExchangeDayConfig(seed=base_seed)
+
+
+def run_exchange_day(engine_cls, config: ExchangeDayConfig):
+    """Single-engine oracle run of the multi-exchange day: all
+    partitions share one engine, cross-exchange directives delivered
+    inline.  Returns ``(events, combined digest)`` — bit-comparable
+    with a :class:`~repro.sim.parallel.ParallelResult` of the same
+    config."""
+    engine = engine_cls()
+    partitions = [
+        ExchangePartition(config, index, engine)
+        for index in range(config.exchanges)
+    ]
+    channel = InlineChannel(engine, partitions)
+    for partition in partitions:
+        partition.build(channel)
+    engine.run_until(config.end_time)
+    digests = {
+        partition.index: partition_digest(partition)
+        for partition in partitions
+    }
+    return engine.events_processed, combined_digest(digests)
+
+
+def scenario_multi_exchange_day(
+    engine_cls, smoke: bool, seed: Optional[int] = None
+):
+    return run_exchange_day(engine_cls, day_config(smoke, seed))
+
+
+#: name -> runner, in presentation order.
+SCENARIOS: Tuple[Tuple[str, Callable], ...] = (
+    ("sync_population", scenario_sync_population),
+    ("flap_storm", scenario_flap_storm),
+    ("table_dump", scenario_table_dump),
+    ("multi_exchange_day", scenario_multi_exchange_day),
+)
+
+_SCENARIO_MAP: Dict[str, Callable] = dict(SCENARIOS)
+
+#: engine name -> engine class, for the single-engine modes.
+ENGINES = {
+    "calendar": Engine,
+    "reference": ReferenceEngine,
+}
+
+
+@dataclass(slots=True, frozen=True)
+class SimResult:
+    """What one :func:`simulate` call produced."""
+
+    scenario: str
+    engine: str
+    events: int
+    digest: str
+    workers: int = 1
+    #: Conservative windows executed (parallel engine only).
+    windows: int = 0
+
+
+def simulate(
+    scenario: str,
+    *,
+    engine: str = "calendar",
+    workers: Optional[int] = None,
+    smoke: bool = False,
+    seed: Optional[int] = None,
+) -> SimResult:
+    """Run a named scenario on a named engine.
+
+    ``engine`` is ``"calendar"`` (the adaptive calendar queue),
+    ``"reference"`` (the heap oracle), or ``"parallel"`` (the
+    conservative-lookahead partitioned driver — only legal for the
+    partitionable ``multi_exchange_day`` scenario, with ``workers``
+    processes).  Equal configurations must yield equal digests across
+    all three.
+    """
+    if scenario not in _SCENARIO_MAP:
+        known = ", ".join(name for name, _ in SCENARIOS)
+        raise SimulationError(
+            f"unknown scenario {scenario!r} (known: {known})"
+        )
+    if engine == "parallel":
+        if scenario != "multi_exchange_day":
+            raise SimulationError(
+                "engine='parallel' requires the partitionable "
+                "'multi_exchange_day' scenario; "
+                f"{scenario!r} is single-engine only"
+            )
+        config = day_config(smoke, seed)
+        with ParallelDriver(config, workers=workers) as driver:
+            driver.run()
+            result = driver.finish()
+        return SimResult(
+            scenario=scenario,
+            engine=engine,
+            events=result.events,
+            digest=result.digest,
+            workers=result.workers,
+            windows=result.windows,
+        )
+    if engine not in ENGINES:
+        known = ", ".join(sorted(ENGINES)) + ", parallel"
+        raise SimulationError(
+            f"unknown engine {engine!r} (known: {known})"
+        )
+    if workers is not None and workers > 1:
+        raise SimulationError(
+            f"engine={engine!r} is single-process; workers only apply "
+            "to engine='parallel'"
+        )
+    events, digest = _SCENARIO_MAP[scenario](ENGINES[engine], smoke, seed)
+    return SimResult(
+        scenario=scenario, engine=engine, events=events, digest=digest
+    )

@@ -1,0 +1,210 @@
+"""Adaptive scheduler tests: the calendar<->heap fallback.
+
+The calendar queue is the wrong structure for dense *irregular*
+timestamps (every bucket a singleton — one float heap push/pop plus a
+dict insert/delete per event).  :class:`~repro.sim.engine.Engine`
+therefore watches its drain: when a 512-event window retires mostly
+singleton buckets it migrates the queue to a plain ``(time, seq,
+handle)`` binary heap, and when a heap-mode window pops mostly
+same-instant events it migrates back.  These tests pin the trip
+points, verify migrations preserve exact firing order (differentially
+against :class:`~repro.sim.refengine.ReferenceEngine`), and exercise
+cancellation / reschedule / compaction while the fallback is active.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.engine import _ADAPT_WINDOW, _TRIP_MARKS, Engine
+from repro.sim.refengine import ReferenceEngine
+from repro.verify.golden import FUZZ_SEEDS
+
+#: Enough events to fill several adaptation windows.
+_N = _ADAPT_WINDOW * 4
+
+
+def _irregular_times(n, seed=1, start=0.0):
+    """Strictly increasing irregular instants (all-singleton buckets)."""
+    rng = random.Random(seed)
+    times, t = [], start
+    for _ in range(n):
+        t += 0.001 + rng.random()
+        times.append(t)
+    return times
+
+
+def test_trips_to_heap_on_dense_irregular_workload():
+    engine = Engine()
+    for t in _irregular_times(_N):
+        engine.schedule_at(t, lambda: None)
+    assert not engine._heap_mode
+    engine.run()
+    assert engine._heap_mode
+    assert engine.events_processed == _N
+
+
+def test_stays_calendar_on_cohort_workload():
+    """Shared-instant buckets (the sync-population shape) must never
+    trip the fallback: the singleton fraction stays near zero."""
+    engine = Engine()
+    for i in range(_N):
+        engine.schedule_at(float(i % 16), lambda: None)
+    engine.run()
+    assert not engine._heap_mode
+    assert engine.events_processed == _N
+
+
+def test_trips_back_to_calendar():
+    """After the irregular phase drains, a cohort phase pops mostly
+    same-instant events and migrates the queue back."""
+    engine = Engine()
+    for t in _irregular_times(_N):
+        engine.schedule_at(t, lambda: None)
+    engine.run()
+    assert engine._heap_mode
+    base = engine.now + 1.0
+    for i in range(_N):
+        engine.schedule_at(base + float(i % 16), lambda: None)
+    engine.run()
+    assert not engine._heap_mode
+    assert engine.events_processed == 2 * _N
+
+
+def test_trip_point_threshold():
+    """The documented trip fraction: > _TRIP_MARKS/_ADAPT_WINDOW of a
+    window singleton trips; well under it does not."""
+    assert 0.5 < _TRIP_MARKS / _ADAPT_WINDOW < 0.7
+
+    def run_mix(singleton_fraction):
+        engine = Engine()
+        rng = random.Random(5)
+        t = 0.0
+        for _ in range(_N):
+            if rng.random() < singleton_fraction:
+                t += 0.01 + rng.random()
+                engine.schedule_at(t, lambda: None)
+            else:
+                # A shared bucket of 8: one retire mark for 8 events.
+                t += 0.01 + rng.random()
+                for _ in range(8):
+                    engine.schedule_at(t, lambda: None)
+        engine.run()
+        return engine._heap_mode
+
+    assert run_mix(0.98)
+    assert not run_mix(0.10)
+
+
+def _drive_adaptive(engine_cls, seed):
+    """A mixed workload dense enough to migrate at least once, with
+    cancels and re-arms interleaved; returns the observable trace."""
+    rng = random.Random(seed)
+    engine = engine_cls()
+    trace = []
+    handles = []
+
+    def record(tag):
+        trace.append((round(engine.now, 9), tag))
+
+    tag = 0
+    for phase in range(6):
+        irregular = phase % 2 == 0
+        for _ in range(_ADAPT_WINDOW + 64):
+            if irregular:
+                delay = 0.001 + rng.random() * 3.0
+            else:
+                delay = float(rng.randrange(4))
+            handles.append(engine.schedule(delay, record, tag))
+            tag += 1
+        for _ in range(rng.randrange(40, 120)):
+            index = rng.randrange(len(handles))
+            roll = rng.random()
+            if roll < 0.5:
+                handles[index].cancel()
+            else:
+                handles[index] = engine.reschedule(
+                    handles[index], engine.now + rng.random() * 2.0
+                )
+        ran = engine.run_until(
+            engine.now + 2.0, max_events=rng.choice((None, 100, 700))
+        )
+        trace.append(
+            ("ran", ran, engine.pending, engine.next_event_time())
+        )
+    trace.append(("tail", engine.run()))
+    trace.append(("final", engine.events_processed, round(engine.now, 9)))
+    return engine, trace
+
+
+@pytest.mark.parametrize("seed", FUZZ_SEEDS)
+def test_adaptive_workload_matches_reference(seed):
+    """Cancellation, reschedule-reuse, compaction, and both migration
+    directions under load: identical traces on both engines."""
+    calendar_engine, calendar_trace = _drive_adaptive(Engine, seed)
+    _, reference_trace = _drive_adaptive(ReferenceEngine, seed)
+    assert calendar_trace == reference_trace
+    # The workload's irregular phases are dense enough that the
+    # adaptive engine really did leave calendar mode at some point.
+    assert calendar_engine.events_processed > 2 * _ADAPT_WINDOW
+
+
+def test_cancellation_and_compaction_under_fallback():
+    """Mass-cancel while in heap mode: dead entries are compacted
+    away and the survivors fire in order."""
+    engine = Engine()
+    for t in _irregular_times(_N):
+        engine.schedule_at(t, lambda: None)
+    engine.run()
+    assert engine._heap_mode
+    fired = []
+    base = engine.now
+    survivors = []
+    doomed = []
+    for i, t in enumerate(_irregular_times(600, seed=3, start=base)):
+        handle = engine.schedule_at(t, fired.append, i)
+        (doomed if i % 3 else survivors).append((i, handle))
+    for _, handle in doomed:
+        engine.cancel(handle)
+    assert engine.pending == len(survivors)
+    engine.run()
+    assert fired == [i for i, _ in survivors]
+
+
+def test_reschedule_reuse_under_fallback():
+    """The hold-timer pattern while in heap mode: a fired handle is
+    re-armed through ``reschedule`` and fires again at the new time."""
+    engine = Engine()
+    for t in _irregular_times(_N):
+        engine.schedule_at(t, lambda: None)
+    engine.run()
+    assert engine._heap_mode
+    fired = []
+    handle = engine.schedule(1.0, fired.append, "a")
+    engine.run()
+    assert fired == ["a"]
+    rearmed = engine.reschedule(handle, engine.now + 2.0)
+    engine.run()
+    assert fired == ["a", "a"]
+    assert rearmed.fired
+
+
+def test_nested_drain_never_migrates():
+    """A callback that re-enters run_until (a nested drain) must not
+    migrate the queue mid-flight; the outermost drain migrates after
+    the nested one returns."""
+    engine = Engine()
+    modes = []
+
+    def nested():
+        for t in _irregular_times(_N, seed=9, start=engine.now + 0.5):
+            engine.schedule_at(t, lambda: None)
+        engine.run_until(engine.now + 10_000.0)
+        modes.append(engine._heap_mode)
+
+    engine.schedule(1.0, nested)
+    engine.run()
+    # The nested drain processed the whole irregular load but left the
+    # structure alone; the outer drain then saw the trip counters.
+    assert modes == [False]
+    assert engine.events_processed == _N + 1

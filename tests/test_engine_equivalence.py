@@ -129,7 +129,7 @@ def _storm_digest(engine_cls):
         seed=TRACE_SEED,
         engine=engine,
     )
-    result = scenario.run_storm(flaps=15, over_seconds=5.0, observe_for=60.0)
+    result = scenario.storm(flaps=15, over_seconds=5.0, observe_for=60.0)
     rib_digests = tuple(
         route_state_digest(
             [

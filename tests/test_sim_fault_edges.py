@@ -136,11 +136,11 @@ class TestOverlappingStorms:
 
         assert cascade() == cascade()
 
-    def test_run_storm_same_seed_same_result(self):
-        first = small_storm(seed=7).run_storm(
+    def test_storm_same_seed_same_result(self):
+        first = small_storm(seed=7).storm(
             flaps=20, over_seconds=5.0, observe_for=60.0
         )
-        second = small_storm(seed=7).run_storm(
+        second = small_storm(seed=7).storm(
             flaps=20, over_seconds=5.0, observe_for=60.0
         )
         assert first.session_drops == second.session_drops

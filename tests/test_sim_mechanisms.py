@@ -210,25 +210,25 @@ class TestSelfSynchronization:
     def test_unjittered_system_synchronizes(self):
         for seed in (3, 7, 11):
             study = SynchronizationStudy(jitter=0.0, seed=seed)
-            study.run(24 * 3600.0)
+            study.advance(24 * 3600.0)
             assert study.final_coherence() > 0.9, seed
 
     def test_jittered_system_stays_incoherent(self):
         for seed in (3, 7, 11):
             study = SynchronizationStudy(jitter=0.25, seed=seed)
-            study.run(24 * 3600.0)
+            study.advance(24 * 3600.0)
             assert study.final_coherence() < 0.8, seed
 
     def test_coherence_increases_over_time_unjittered(self):
         study = SynchronizationStudy(jitter=0.0, seed=3)
-        study.run(24 * 3600.0)
+        study.advance(24 * 3600.0)
         series = study.coherence_series(step=1800.0)
         assert series[-1] > series[0]
         assert series[-1] > 0.9
 
     def test_external_bursts_occur(self):
         study = SynchronizationStudy(jitter=0.0, seed=1)
-        study.run(3600.0)
+        study.advance(3600.0)
         assert study.external_events > 0
 
     def test_phase_coherence_bounds(self):
@@ -255,7 +255,7 @@ class TestFlapStorm:
             hold_time=30.0,
             seed=1,
         )
-        result = scenario.run_storm(flaps=600, over_seconds=20.0)
+        result = scenario.storm(flaps=600, over_seconds=20.0)
         # The seed burst cascades into session losses well beyond the
         # victim's own peerings.
         assert result.session_drops >= 10
@@ -272,7 +272,7 @@ class TestFlapStorm:
             hold_time=30.0,
             seed=1,
         )
-        result = scenario.run_storm(flaps=600, over_seconds=20.0)
+        result = scenario.storm(flaps=600, over_seconds=20.0)
         assert result.session_drops == 0
 
     def test_keepalive_priority_contains_storm(self):
@@ -292,7 +292,7 @@ class TestFlapStorm:
             keepalive_priority=True,
             **kwargs,
         )
-        storm = vulnerable.run_storm(flaps=600, over_seconds=20.0)
-        calm = protected.run_storm(flaps=600, over_seconds=20.0)
+        storm = vulnerable.storm(flaps=600, over_seconds=20.0)
+        calm = protected.storm(flaps=600, over_seconds=20.0)
         assert storm.session_drops >= 10
         assert calm.session_drops < storm.session_drops / 4

@@ -118,7 +118,7 @@ class TestRouteServerSessionLog:
                          per_dump_route=0.05),
             hold_time=30.0, seed=1,
         )
-        result = scenario.run_storm(flaps=600, over_seconds=20.0)
+        result = scenario.storm(flaps=600, over_seconds=20.0)
         events = [
             SessionEvent(t, peer, 0, "ESTABLISHED", "IDLE")
             for peer, t in enumerate(result.drop_times)

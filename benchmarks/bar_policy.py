@@ -1,0 +1,79 @@
+"""The speedup-bar skip policy shared by the benchmark harnesses.
+
+Both timed 4-worker bars — the campaign runner's >= 1.7x and the
+parallel simulator day's >= 2.5x — are enforced only when the machine
+can physically pass them (>= 4 usable CPUs).  Historically ``--no-bar``
+and ``--smoke`` also skipped them *silently*, recording an honest
+``bar_skipped_reason`` in the JSON but still exiting 0 — which let a
+CI lane keep "passing" on a big box with the bar quietly off.
+
+:func:`bar_skip_failure` turns that into policy: skipping a 4-worker
+bar on a >= 4-CPU machine is a hard failure unless the run is
+explicitly waived with ``REPRO_ALLOW_BAR_SKIP=1`` (what the CI quick
+lanes set — the waiver is visible in the workflow file, not buried in
+a JSON artifact).  Machines with fewer CPUs keep the old behavior:
+the bar cannot apply, so skipping it is legitimate and free.
+
+``REPRO_BENCH_CPUS`` injects the CPU count (tests use it to exercise
+both sides of the policy on any machine).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping, Optional
+
+__all__ = [
+    "ALLOW_ENV",
+    "CPUS_ENV",
+    "MIN_BAR_CPUS",
+    "available_cpus",
+    "bar_skip_failure",
+]
+
+#: Set to any non-empty value to waive the hard-failure policy.
+ALLOW_ENV = "REPRO_ALLOW_BAR_SKIP"
+#: Overrides the detected CPU count (testing the policy itself).
+CPUS_ENV = "REPRO_BENCH_CPUS"
+#: The 4-worker bars need at least this many usable CPUs to apply.
+MIN_BAR_CPUS = 4
+
+
+def available_cpus(environ: Optional[Mapping[str, str]] = None) -> int:
+    """CPUs this process may actually use (affinity-aware), unless
+    ``REPRO_BENCH_CPUS`` injects a count."""
+    environ = os.environ if environ is None else environ
+    injected = environ.get(CPUS_ENV)
+    if injected:
+        return int(injected)
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def bar_skip_failure(
+    bar_name: str,
+    skip_reason: Optional[str],
+    cpus: int,
+    environ: Optional[Mapping[str, str]] = None,
+) -> Optional[str]:
+    """The hard-failure message for an illegitimate bar skip, or None.
+
+    ``skip_reason`` is the harness's ``bar_skipped_reason`` (None means
+    the bar was enforced — never a failure).  A skip is legitimate when
+    the machine has fewer than :data:`MIN_BAR_CPUS` usable CPUs, or
+    when ``REPRO_ALLOW_BAR_SKIP`` is set; anything else is a silent
+    enforcement hole and fails the bench.
+    """
+    if skip_reason is None:
+        return None
+    environ = os.environ if environ is None else environ
+    if cpus < MIN_BAR_CPUS:
+        return None
+    if environ.get(ALLOW_ENV):
+        return None
+    return (
+        f"{bar_name} bar skipped ({skip_reason}) on a {cpus}-CPU "
+        f"machine; with >= {MIN_BAR_CPUS} CPUs the bar must be "
+        f"enforced (set {ALLOW_ENV}=1 to waive explicitly)"
+    )

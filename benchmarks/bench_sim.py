@@ -36,7 +36,9 @@ The **parallel probe** runs the partitioned multi-exchange day
 against the single-engine oracle at smoke scale; on boxes with >= 4
 CPUs (full mode) also the timed 5-exchange 90-provider day, bar
 >= 2.5x over the single-engine calendar run.  Below 4 CPUs the timing
-bar is skipped and ``bar_skipped_reason`` records why.
+bar is skipped and ``bar_skipped_reason`` records why; on >= 4 CPUs a
+skip (``--smoke`` / ``--no-bar``) is a hard failure unless waived
+with ``REPRO_ALLOW_BAR_SKIP=1`` (see ``benchmarks/bar_policy.py``).
 
 Run:  PYTHONPATH=src python benchmarks/bench_sim.py [--smoke]
       PYTHONPATH=src python benchmarks/run_bench.py --sim
@@ -70,6 +72,11 @@ SCENARIOS = (
     ("table_dump", scenario_table_dump, None),
 )
 
+try:
+    from bar_policy import available_cpus, bar_skip_failure
+except ImportError:  # invoked as a package module
+    from benchmarks.bar_policy import available_cpus, bar_skip_failure
+
 #: Minimum CPUs for the timed parallel bar, and its speedup target.
 _PARALLEL_MIN_CPUS = 4
 _PARALLEL_BAR = 2.5
@@ -78,9 +85,7 @@ _PARALLEL_WORKERS = 4
 
 def _available_cpus() -> int:
     """CPUs this process may actually use (affinity-aware)."""
-    if hasattr(os, "sched_getaffinity"):
-        return len(os.sched_getaffinity(0))
-    return os.cpu_count() or 1
+    return available_cpus()
 
 
 # ---------------------------------------------------------------------------
@@ -266,20 +271,30 @@ def run_sim_bench(args) -> None:
     print(f"Wrote {args.output}")
     if not all_identical:
         raise SystemExit("engines disagree — see digests above")
+    failures = []
+    skip_failure = bar_skip_failure(
+        f"parallel {_PARALLEL_BAR}x @ {_PARALLEL_WORKERS} workers",
+        parallel.get("bar_skipped_reason"),
+        parallel["cpus"],
+    )
+    if skip_failure:
+        failures.append(skip_failure)
     if bar_enforced:
         for name, entry in scenarios.items():
             bar = entry["speedup_bar"]
             if bar is not None and entry["speedup"] < bar:
-                raise SystemExit(
+                failures.append(
                     f"{name} speedup {entry['speedup']:.2f}x below "
                     f"the {bar}x bar"
                 )
         day = parallel.get("day")
         if day is not None and day["speedup"] < _PARALLEL_BAR:
-            raise SystemExit(
+            failures.append(
                 f"parallel day speedup {day['speedup']:.2f}x below "
                 f"the {_PARALLEL_BAR}x bar"
             )
+    if failures:
+        raise SystemExit("; ".join(failures))
 
 
 def main() -> None:

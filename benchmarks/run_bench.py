@@ -10,10 +10,13 @@ acceptance bar is a >=10x columnar speedup.
 workers, asserts the merged results are bit-identical, and writes
 per-worker wall-clock + speedups (and the machine's CPU count) to
 ``BENCH_campaign.json``.  The >=1.7x speedup-at-4-workers bar is
-enforced only when the machine actually has >= 4 CPUs — on fewer
-cores the pool cannot physically beat the inline run, so the file
-records the honest numbers and ``bar_skipped_reason`` says exactly
-why the bar did not apply (never silently).
+enforced whenever the machine has >= 4 CPUs — on fewer cores the pool
+cannot physically beat the inline run, so the file records the honest
+numbers and ``bar_skipped_reason`` says exactly why the bar did not
+apply.  On a >= 4-CPU machine, skipping the bar (``--no-bar``) is a
+*hard failure* unless explicitly waived with ``REPRO_ALLOW_BAR_SKIP=1``
+(see ``benchmarks/bar_policy.py``) — a CI lane cannot silently stop
+enforcing it.
 
 Campaign mode also probes the out-of-core tier: it runs a short and a
 long spilling campaign (``python -m repro campaign --out ...``) in
@@ -146,11 +149,14 @@ def bench_columnar(columns, repeats):
     return best, counts, bins
 
 
+try:
+    from bar_policy import available_cpus, bar_skip_failure
+except ImportError:  # invoked as a package module
+    from benchmarks.bar_policy import available_cpus, bar_skip_failure
+
+
 def _available_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
+    return available_cpus()
 
 
 def _spawn_campaign_rss(cli_args) -> float:
@@ -322,6 +328,11 @@ def run_campaign_bench(args) -> None:
         failures.append(
             f"speedup {speedup_4:.2f}x below the 1.7x bar on {cpus} CPUs"
         )
+    skip_failure = bar_skip_failure(
+        "campaign 1.7x @ 4 workers", bar_skipped_reason, cpus
+    )
+    if skip_failure:
+        failures.append(skip_failure)
 
     out_of_core = None
     if args.skip_rss:

@@ -67,6 +67,19 @@ from .multihoming import (
     multihomed_by_origin,
     series_summary,
 )
+from .detection import (
+    FLAGS,
+    AsRelationships,
+    ColumnDetector,
+    DetectionResult,
+    StreamDetector,
+    detect_records,
+    detect_records_columnar,
+    detection_digest,
+    flag_names,
+    path_flags,
+    stability_scores,
+)
 
 __all__ = [
     "aggregate_bins",
@@ -120,4 +133,15 @@ __all__ = [
     "count_multihomed",
     "multihomed_by_origin",
     "series_summary",
+    "FLAGS",
+    "AsRelationships",
+    "ColumnDetector",
+    "DetectionResult",
+    "StreamDetector",
+    "detect_records",
+    "detect_records_columnar",
+    "detection_digest",
+    "flag_names",
+    "path_flags",
+    "stability_scores",
 ]

@@ -18,8 +18,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
+from ..analysis.detection import detect_records, detect_records_columnar
 from ..core.report import ExperimentResult
-from ..sim.scenarios import simulate
+from ..sim.adversary import scenario_relationships
+from ..sim.engine import Engine
+from ..sim.scenarios import (
+    adversary_day_config,
+    run_exchange_day_records,
+    simulate,
+)
 from . import (
     ablations,
     crossexchange,
@@ -106,6 +113,78 @@ def _sim_scenario(name: str):
             )
             result.record("parallel_windows", parallel.windows)
         result.notes.append(f"run digest {calendar.digest[:16]}")
+        return result
+
+    return runner
+
+
+#: Each attack's signature detection flag — the one headline counter
+#: that must be non-zero for the scenario to count as detected.
+_ATTACK_SIGNATURE = {
+    "hijack_moas": "moas_conflict",
+    "hijack_subprefix": "subprefix_foreign",
+    "route_leak": "valley_violation",
+    "path_forgery": "forged_edge",
+    "deagg_storm": "subprefix_deagg",
+}
+
+
+def _adversary_scenario(kind: str):
+    """Adapt an adversarial day scenario to the spec signature.
+
+    Runs the scenario at smoke scale on the calendar engine, checks
+    digest agreement with the reference engine and the 2-worker
+    parallel driver, runs the detection tier over the merged record
+    stream on both the streaming and the columnar implementations
+    (which must agree bit for bit), and asserts the attack's signature
+    flag actually fired.
+    """
+
+    def runner(config: Optional["CampaignConfig"] = None) -> ExperimentResult:
+        seed = None if config is None else config.seed
+        day = adversary_day_config(kind, smoke=True, seed=seed)
+        events, digest, records = run_exchange_day_records(Engine, day)
+        reference = simulate(kind, engine="reference", smoke=True, seed=seed)
+        parallel = simulate(
+            kind, engine="parallel", workers=2, smoke=True, seed=seed
+        )
+        topology = scenario_relationships(day)
+        streamed = detect_records(records, topology)
+        columnar = detect_records_columnar(
+            records, topology, boundaries=(len(records) // 2,)
+        )
+        result = ExperimentResult(
+            experiment_id=f"sim-{kind}",
+            description=f"adversarial scenario '{kind}' (smoke scale)",
+        )
+        result.record("events", events)
+        result.record("updates_observed", len(records))
+        result.record(
+            "engines_agree", int(digest == reference.digest), expect=1
+        )
+        result.record(
+            "parallel_agrees", int(digest == parallel.digest), expect=1
+        )
+        result.record(
+            "detection_tiers_agree",
+            int(
+                streamed.flags == columnar.flags
+                and streamed.detector.state_digest()
+                == columnar.detector.state_digest()
+            ),
+            expect=1,
+        )
+        for name, count in streamed.counts.items():
+            if count:
+                result.record(f"flag_{name}", count)
+        signature = _ATTACK_SIGNATURE[kind]
+        result.record(
+            "signature_detected",
+            int(streamed.counts[signature] > 0),
+            expect=1,
+        )
+        result.notes.append(f"signature flag: {signature}")
+        result.notes.append(f"run digest {digest[:16]}")
         return result
 
     return runner
@@ -303,6 +382,46 @@ _SPEC_LIST = [
         "— the parallel driver's scenario, checked against the "
         "single-engine oracle.",
         _sim_scenario("multi_exchange_day"),
+    ),
+    ExperimentSpec(
+        "sim-hijack_moas",
+        "Adversarial scenario: exact-prefix MOAS hijack",
+        "An attacker provider originates the victim's exact prefixes; "
+        "the MOAS-conflict counter flags every concurrent-origin "
+        "announcement (the classic hijack signature).",
+        _adversary_scenario("hijack_moas"),
+    ),
+    ExperimentSpec(
+        "sim-hijack_subprefix",
+        "Adversarial scenario: more-specific sub-prefix hijack",
+        "The attacker announces more-specifics of the victim's "
+        "covering prefixes; longest-match steals the traffic and the "
+        "foreign-sub-prefix flag fires on every pulse.",
+        _adversary_scenario("hijack_subprefix"),
+    ),
+    ExperimentSpec(
+        "sim-route_leak",
+        "Adversarial scenario: route leak through transit",
+        "A provider re-exports a provider-learned route sideways; the "
+        "valley-free (Gao-Rexford) classifier flags the leaked paths "
+        "given the declared AS relationships.",
+        _adversary_scenario("route_leak"),
+    ),
+    ExperimentSpec(
+        "sim-path_forgery",
+        "Adversarial scenario: AS-path forgery",
+        "The attacker forges the victim's origin into its own "
+        "announcements; the forged adjacency is absent from the "
+        "declared topology and trips the forged-edge check.",
+        _adversary_scenario("path_forgery"),
+    ),
+    ExperimentSpec(
+        "sim-deagg_storm",
+        "Adversarial scenario: deaggregation storm",
+        "A misconfigured provider floods more-specifics of its own "
+        "aggregates — misconfiguration storm material (section 7), "
+        "deaggregation rather than hijack.",
+        _adversary_scenario("deagg_storm"),
     ),
 ]
 

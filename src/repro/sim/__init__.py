@@ -32,7 +32,24 @@ from .partition import (
     partition_digest,
 )
 from .parallel import ParallelDriver, ParallelResult, ParallelSimError
-from .scenarios import SCENARIOS, SimResult, day_config, simulate
+from .adversary import (
+    ATTACK_KINDS,
+    AdversaryConfig,
+    install_adversary,
+    pulse_times,
+    scenario_relationships,
+)
+from .scenarios import (
+    DAY_SCENARIOS,
+    SCENARIOS,
+    SimResult,
+    adversary_day_config,
+    day_config,
+    day_scenario_config,
+    run_exchange_day,
+    run_exchange_day_records,
+    simulate,
+)
 
 __all__ = [
     "Engine",
@@ -72,8 +89,18 @@ __all__ = [
     "ParallelDriver",
     "ParallelResult",
     "ParallelSimError",
+    "ATTACK_KINDS",
+    "AdversaryConfig",
+    "install_adversary",
+    "pulse_times",
+    "scenario_relationships",
+    "DAY_SCENARIOS",
     "SCENARIOS",
     "SimResult",
+    "adversary_day_config",
     "day_config",
+    "day_scenario_config",
+    "run_exchange_day",
+    "run_exchange_day_records",
     "simulate",
 ]

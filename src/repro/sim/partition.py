@@ -45,9 +45,11 @@ from ..net.prefix import Prefix
 from .router import Router
 
 if TYPE_CHECKING:  # pragma: no cover - typing only; the runtime
-    # import lives in ExchangePartition.build (repro.topology itself
-    # imports repro.sim, so a module-level import would be circular).
+    # imports live in ExchangePartition.build (repro.topology itself
+    # imports repro.sim, and repro.sim.adversary imports this module,
+    # so module-level imports would be circular).
     from ..topology.exchange import ExchangePoint
+    from .adversary import AdversaryConfig
 
 __all__ = [
     "CrossMessage",
@@ -128,6 +130,10 @@ class ExchangeDayConfig:
     #: Bilateral provider mesh per exchange (O(N^2)); False keeps the
     #: O(N) route-server-only configuration of §3.
     full_mesh: bool = False
+    #: Optional seeded attacker (:class:`~repro.sim.adversary
+    #: .AdversaryConfig`); its pulse timetable is a pure function of
+    #: this config, installed per partition at build time.
+    adversary: Optional["AdversaryConfig"] = None
 
     @property
     def end_time(self) -> float:
@@ -345,6 +351,14 @@ class ExchangePartition:
                 )
                 if remotes:
                     sends.append(when)
+        adversary = config.adversary
+        if (
+            adversary is not None
+            and adversary.attacker in self.routers
+        ):
+            from .adversary import install_adversary
+
+            install_adversary(self, adversary)
         sends.sort()
         self.flap_times = sends
 

@@ -13,13 +13,22 @@ implementation:
 - ``table_dump`` — a hub re-dumping its table over ``wire=True`` links
   through forced session bounces (the memoized codec's target).
 - ``multi_exchange_day`` — the partitionable multi-exchange day
-  (:mod:`repro.sim.partition`); the only scenario the ``parallel``
-  engine accepts.
+  (:mod:`repro.sim.partition`).
+- ``hijack_moas`` / ``hijack_subprefix`` / ``route_leak`` /
+  ``path_forgery`` / ``deagg_storm`` — the adversarial pack
+  (:mod:`repro.sim.adversary`): the same day with a seeded attacker
+  riding on it.
 
-:func:`simulate` is the single entry point:
+The day-family scenarios (``multi_exchange_day`` and the adversarial
+pack) are partition-safe and therefore also legal on the ``parallel``
+engine.
+
+:func:`simulate` is the single entry point (scenario names accept
+``-`` for ``_``, so ``hijack-moas`` works from the command line):
 
     >>> simulate("flap_storm", engine="reference", smoke=True)
     >>> simulate("multi_exchange_day", engine="parallel", workers=4)
+    >>> simulate("hijack-moas", engine="parallel", workers=2, smoke=True)
 
 Scenario runners return ``(events, digest)`` where the digest covers
 the full observable outcome (event counts, clocks, route state,
@@ -34,11 +43,13 @@ from __future__ import annotations
 
 import hashlib
 import random
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
 
+from ..collector.record import UpdateRecord
 from ..core.classifier import route_state_digest
 from ..net.prefix import Prefix
+from .adversary import ATTACK_KINDS, AdversaryConfig
 from .engine import Engine, SimulationError
 from .flapstorm import FlapStormScenario
 from .link import Link
@@ -55,9 +66,14 @@ from .router import Router, connect
 from .timers import IntervalTimer
 
 __all__ = [
+    "DAY_SCENARIOS",
     "SCENARIOS",
     "SimResult",
+    "adversary_day_config",
     "day_config",
+    "day_scenario_config",
+    "run_exchange_day",
+    "run_exchange_day_records",
     "scenario_flap_storm",
     "scenario_multi_exchange_day",
     "scenario_sync_population",
@@ -278,12 +294,68 @@ def day_config(
     return ExchangeDayConfig(seed=base_seed)
 
 
-def run_exchange_day(engine_cls, config: ExchangeDayConfig):
-    """Single-engine oracle run of the multi-exchange day: all
-    partitions share one engine, cross-exchange directives delivered
-    inline.  Returns ``(events, combined digest)`` — bit-comparable
-    with a :class:`~repro.sim.parallel.ParallelResult` of the same
-    config."""
+def adversary_day_config(
+    kind: str, smoke: bool = False, seed: Optional[int] = None
+) -> ExchangeDayConfig:
+    """A :func:`day_config` with a seeded attacker riding on it.
+
+    The attacker is homed at the victim's exchange (provider index
+    ``1 + exchanges`` has home ``1``), so the route server there
+    always observes both origins concurrently — the MOAS conflict is
+    structural, not a matter of attendance luck."""
+    base = day_config(smoke, seed)
+    if smoke:
+        adversary = AdversaryConfig(
+            kind=kind, victim=1, attacker=1 + base.exchanges
+        )
+    else:
+        adversary = AdversaryConfig(
+            kind=kind,
+            victim=1,
+            attacker=1 + base.exchanges,
+            start=600.0,
+            pulses=24,
+            period=3600.0,
+            up_time=900.0,
+            subnets=4,
+        )
+    return replace(base, adversary=adversary)
+
+
+def _attack_config_factory(kind: str) -> Callable:
+    def factory(
+        smoke: bool = False, seed: Optional[int] = None
+    ) -> ExchangeDayConfig:
+        return adversary_day_config(kind, smoke, seed)
+
+    return factory
+
+
+#: Day-family scenarios: name -> config factory ``(smoke, seed)``.
+#: Everything here is partition-safe and legal on engine='parallel'.
+DAY_SCENARIOS: Dict[str, Callable] = {
+    "multi_exchange_day": day_config,
+}
+for _kind in ATTACK_KINDS:
+    DAY_SCENARIOS[_kind] = _attack_config_factory(_kind)
+del _kind
+
+
+def day_scenario_config(
+    scenario: str, smoke: bool = False, seed: Optional[int] = None
+) -> ExchangeDayConfig:
+    """The :class:`ExchangeDayConfig` behind a day-family scenario."""
+    name = scenario.replace("-", "_")
+    if name not in DAY_SCENARIOS:
+        known = ", ".join(DAY_SCENARIOS)
+        raise SimulationError(
+            f"{scenario!r} is not a day-family scenario (known: {known})"
+        )
+    return DAY_SCENARIOS[name](smoke, seed)
+
+
+def _run_day(engine_cls, config: ExchangeDayConfig):
+    """Build and run all partitions on one shared engine."""
     engine = engine_cls()
     partitions = [
         ExchangePartition(config, index, engine)
@@ -293,11 +365,51 @@ def run_exchange_day(engine_cls, config: ExchangeDayConfig):
     for partition in partitions:
         partition.build(channel)
     engine.run_until(config.end_time)
+    return engine, partitions
+
+
+def day_records(partitions) -> List[UpdateRecord]:
+    """All route-server observations of a day run, merged into one
+    time-ordered stream.  Peer ids (router ids) are globally unique
+    across exchanges, so the merge is a coherent multi-collector
+    stream; the sort is stable over the exchange-ordered concatenation,
+    so equal-time records keep a canonical order and the result is a
+    pure function of the per-exchange logs."""
+    merged: List[UpdateRecord] = []
+    for partition in partitions:
+        merged.extend(partition.sink.records)
+    merged.sort(key=lambda record: record.time)
+    return merged
+
+
+def run_exchange_day(engine_cls, config: ExchangeDayConfig):
+    """Single-engine oracle run of the multi-exchange day: all
+    partitions share one engine, cross-exchange directives delivered
+    inline.  Returns ``(events, combined digest)`` — bit-comparable
+    with a :class:`~repro.sim.parallel.ParallelResult` of the same
+    config."""
+    engine, partitions = _run_day(engine_cls, config)
     digests = {
         partition.index: partition_digest(partition)
         for partition in partitions
     }
     return engine.events_processed, combined_digest(digests)
+
+
+def run_exchange_day_records(engine_cls, config: ExchangeDayConfig):
+    """Like :func:`run_exchange_day`, additionally returning the
+    merged route-server record stream (the detection tier's input):
+    ``(events, digest, records)``."""
+    engine, partitions = _run_day(engine_cls, config)
+    digests = {
+        partition.index: partition_digest(partition)
+        for partition in partitions
+    }
+    return (
+        engine.events_processed,
+        combined_digest(digests),
+        day_records(partitions),
+    )
 
 
 def scenario_multi_exchange_day(
@@ -306,13 +418,22 @@ def scenario_multi_exchange_day(
     return run_exchange_day(engine_cls, day_config(smoke, seed))
 
 
+def _day_runner(name: str) -> Callable:
+    def runner(engine_cls, smoke: bool, seed: Optional[int] = None):
+        return run_exchange_day(
+            engine_cls, day_scenario_config(name, smoke, seed)
+        )
+
+    return runner
+
+
 #: name -> runner, in presentation order.
 SCENARIOS: Tuple[Tuple[str, Callable], ...] = (
     ("sync_population", scenario_sync_population),
     ("flap_storm", scenario_flap_storm),
     ("table_dump", scenario_table_dump),
     ("multi_exchange_day", scenario_multi_exchange_day),
-)
+) + tuple((kind, _day_runner(kind)) for kind in ATTACK_KINDS)
 
 _SCENARIO_MAP: Dict[str, Callable] = dict(SCENARIOS)
 
@@ -348,24 +469,25 @@ def simulate(
 
     ``engine`` is ``"calendar"`` (the adaptive calendar queue),
     ``"reference"`` (the heap oracle), or ``"parallel"`` (the
-    conservative-lookahead partitioned driver — only legal for the
-    partitionable ``multi_exchange_day`` scenario, with ``workers``
+    conservative-lookahead partitioned driver — legal for every
+    day-family scenario in :data:`DAY_SCENARIOS`, with ``workers``
     processes).  Equal configurations must yield equal digests across
-    all three.
+    all three.  ``-`` and ``_`` are interchangeable in scenario names.
     """
+    scenario = scenario.replace("-", "_")
     if scenario not in _SCENARIO_MAP:
         known = ", ".join(name for name, _ in SCENARIOS)
         raise SimulationError(
             f"unknown scenario {scenario!r} (known: {known})"
         )
     if engine == "parallel":
-        if scenario != "multi_exchange_day":
+        if scenario not in DAY_SCENARIOS:
+            known = ", ".join(DAY_SCENARIOS)
             raise SimulationError(
-                "engine='parallel' requires the partitionable "
-                "'multi_exchange_day' scenario; "
-                f"{scenario!r} is single-engine only"
+                "engine='parallel' requires a partitionable day-family "
+                f"scenario ({known}); {scenario!r} is single-engine only"
             )
-        config = day_config(smoke, seed)
+        config = day_scenario_config(scenario, smoke, seed)
         with ParallelDriver(config, workers=workers) as driver:
             driver.run()
             result = driver.finish()

@@ -28,21 +28,31 @@ per-record semantics.  This package makes that claim checkable:
 from .differential import (
     DifferentialMismatch,
     DifferentialReport,
+    columnar_detection,
+    run_detection_differential,
     run_differential,
     shrink_stream,
     stream_digest,
+    streaming_detection,
 )
 from .reference import (
+    DETECTION_FLAGS,
     reference_classify,
     reference_counts,
     reference_counts_by_peer,
     reference_counts_by_prefix,
     reference_bin_counts,
+    reference_detect,
+    reference_detection_counts,
+    reference_detection_digest,
     reference_interarrival_histogram,
+    reference_stability,
 )
 from .streams import (
     ADVERSARIAL_GENERATORS,
+    DETECTION_GENERATORS,
     FuzzStream,
+    detection_topology,
     fuzz_stream,
     adversarial_cross_batch_carry,
     adversarial_duplicate_timestamps,
@@ -56,16 +66,26 @@ __all__ = [
     "DifferentialMismatch",
     "DifferentialReport",
     "run_differential",
+    "run_detection_differential",
+    "streaming_detection",
+    "columnar_detection",
     "shrink_stream",
     "stream_digest",
+    "DETECTION_FLAGS",
     "reference_classify",
     "reference_counts",
     "reference_counts_by_peer",
     "reference_counts_by_prefix",
     "reference_bin_counts",
+    "reference_detect",
+    "reference_detection_counts",
+    "reference_detection_digest",
     "reference_interarrival_histogram",
+    "reference_stability",
     "ADVERSARIAL_GENERATORS",
+    "DETECTION_GENERATORS",
     "FuzzStream",
+    "detection_topology",
     "fuzz_stream",
     "adversarial_cross_batch_carry",
     "adversarial_duplicate_timestamps",

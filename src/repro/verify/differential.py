@@ -30,6 +30,12 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..analysis.detection import (
+    AsRelationships,
+    detect_records,
+    detect_records_columnar,
+    detection_digest,
+)
 from ..core.classifier import StreamClassifier
 from ..core.columns import (
     AttributeTable,
@@ -37,17 +43,27 @@ from ..core.columns import (
     ColumnClassifier,
     RecordColumns,
 )
-from .reference import reference_classify, reference_counts
+from .reference import (
+    DETECTION_FLAGS,
+    reference_classify,
+    reference_counts,
+    reference_detect,
+    reference_detection_counts,
+    reference_detection_digest,
+)
 from .streams import FuzzStream
 
 __all__ = [
     "DifferentialMismatch",
     "DifferentialReport",
     "run_differential",
+    "run_detection_differential",
     "shrink_stream",
     "stream_digest",
     "streaming_labels",
     "columnar_labels",
+    "streaming_detection",
+    "columnar_detection",
 ]
 
 #: A tier's verdict on a stream: per-record ``(category name, policy)``
@@ -368,6 +384,173 @@ def run_differential(
             continue
         if shrink:
             predicate = _shrink_predicate(stream_tier, column_tier)
+            if predicate(stream.records):
+                found.shrunk = shrink_stream(stream.records, predicate)
+        report.mismatches.append(found)
+        if stop_on_first:
+            break
+    return report
+
+
+# -- the detection differential: three tiers of adversarial flags -----------
+
+#: A detection tier's verdict: per-record flag bitmasks plus the
+#: detector's end-of-stream state digest (None for the stateless
+#: reference oracle, or for injected stand-ins that opt out).
+Flags = List[int]
+DetectionRun = Tuple[Flags, Optional[str]]
+StreamDetectionTier = Callable[[Sequence, Optional[AsRelationships]], DetectionRun]
+ColumnDetectionTier = Callable[
+    [Sequence, Sequence[int], Optional[AsRelationships]], DetectionRun
+]
+
+
+def streaming_detection(
+    records: Sequence, topology: Optional[AsRelationships] = None
+) -> DetectionRun:
+    """Run the streaming detection tier record by record."""
+    result = detect_records(records, topology)
+    return result.flags, result.detector.state_digest()
+
+
+def columnar_detection(
+    records: Sequence,
+    boundaries: Sequence[int] = (),
+    topology: Optional[AsRelationships] = None,
+) -> DetectionRun:
+    """Run the columnar detection tier over batches cut at
+    ``boundaries``, with one detector carrying state across batches."""
+    result = detect_records_columnar(records, topology, boundaries)
+    return result.flags, result.detector.state_digest()
+
+
+def _first_detection_mismatch(
+    stream: FuzzStream,
+    topology: Optional[AsRelationships],
+    stream_tier: StreamDetectionTier,
+    column_tier: ColumnDetectionTier,
+) -> Optional[DifferentialMismatch]:
+    """Check one stream's detection flags against the oracle."""
+    records = stream.records
+    edges = topology.edges() if topology is not None else None
+    expected = reference_detect(records, edges)
+    expected_counts = reference_detection_counts(records, edges)
+    expected_digest = reference_detection_digest(records, edges)
+
+    runs: List[Tuple[str, Flags, Optional[str]]] = []
+    flags, state = stream_tier(records, topology)
+    runs.append(("det-streaming", flags, state))
+    for batching_name, cuts in _batchings(len(records), stream.boundaries):
+        flags, state = column_tier(records, cuts, topology)
+        runs.append((f"det-columnar[{batching_name}]", flags, state))
+
+    def mismatch(tier, kind, index, exp, act) -> DifferentialMismatch:
+        rendered = None
+        if index is not None:
+            r = records[index]
+            rendered = (
+                f"t={r.time!r} peer={r.peer_id} "
+                f"prefix={r.prefix.network}/{r.prefix.length} "
+                f"{'A' if r.is_announce else 'W'}"
+            )
+        return DifferentialMismatch(
+            stream_name=stream.name,
+            seed=stream.seed,
+            tier=tier,
+            kind=kind,
+            index=index,
+            expected=exp,
+            actual=act,
+            record=rendered,
+        )
+
+    for tier, flags, _ in runs:
+        if len(flags) != len(expected):
+            return mismatch(tier, "flags", None, len(expected), len(flags))
+        for index, (exp, act) in enumerate(zip(expected, flags)):
+            if int(exp) != int(act):
+                return mismatch(tier, "flags", index, exp, act)
+        tier_counts = {
+            name: sum(1 for f in flags if int(f) & bit)
+            for bit, name in DETECTION_FLAGS
+        }
+        if tier_counts != expected_counts:
+            return mismatch(tier, "counts", None, expected_counts, tier_counts)
+        digest = detection_digest(records, flags)
+        if digest != expected_digest:
+            return mismatch(tier, "digest", None, expected_digest, digest)
+
+    state_digests = [
+        (tier, state) for tier, _, state in runs if state is not None
+    ]
+    if len(state_digests) >= 2:
+        reference_tier, reference_state = state_digests[0]
+        for tier, state in state_digests[1:]:
+            if state != reference_state:
+                return mismatch(
+                    f"{tier} vs {reference_tier}",
+                    "state", None, reference_state, state,
+                )
+    return None
+
+
+def _detection_shrink_predicate(
+    topology: Optional[AsRelationships],
+    stream_tier: StreamDetectionTier,
+    column_tier: ColumnDetectionTier,
+) -> Callable[[List], bool]:
+    """Does any detection tier disagree with the oracle on this list?
+
+    As in :func:`_shrink_predicate`, the shrunk stream is re-checked at
+    every possible single batch cut so cross-batch detection bugs keep
+    failing while the list shrinks.
+    """
+
+    def failing(subset: List) -> bool:
+        cuts = tuple(range(1, len(subset)))
+        probe = FuzzStream("shrink", 0, list(subset), list(cuts))
+        return (
+            _first_detection_mismatch(
+                probe, topology, stream_tier, column_tier
+            )
+            is not None
+        )
+
+    return failing
+
+
+def run_detection_differential(
+    streams: Iterable[FuzzStream],
+    topology: Optional[AsRelationships] = None,
+    stream_tier: StreamDetectionTier = streaming_detection,
+    column_tier: ColumnDetectionTier = columnar_detection,
+    shrink: bool = True,
+    stop_on_first: bool = False,
+) -> DifferentialReport:
+    """The detection analogue of :func:`run_differential`.
+
+    Pipes every stream through :class:`~repro.analysis.detection.StreamDetector`,
+    :class:`~repro.analysis.detection.ColumnDetector` (at several batch
+    cuts, one detector carrying state across batches), and the
+    dependency-free :func:`~repro.verify.reference.reference_detect`
+    oracle, and asserts identical per-record flag bitmasks, per-flag
+    counts, detection digests, and (between the stateful tiers) carried
+    state digests.  Mismatches are ddmin-minimized exactly like the
+    classifier differential.
+    """
+    report = DifferentialReport()
+    for stream in streams:
+        report.streams += 1
+        report.records += len(stream.records)
+        found = _first_detection_mismatch(
+            stream, topology, stream_tier, column_tier
+        )
+        if found is None:
+            continue
+        if shrink:
+            predicate = _detection_shrink_predicate(
+                topology, stream_tier, column_tier
+            )
             if predicate(stream.records):
                 found.shrunk = shrink_stream(stream.records, predicate)
         report.mismatches.append(found)

@@ -1,6 +1,6 @@
 """The golden corpus: frozen expected outputs under ``tests/golden/``.
 
-The corpus pins three layers of behavior to committed history:
+The corpus pins five layers of behavior to committed history:
 
 - **classifier cases** — seeded fuzz and adversarial streams with
   frozen reference counts, stream digests, and end-of-stream state
@@ -9,7 +9,16 @@ The corpus pins three layers of behavior to committed history:
   digest and classification, so the wire codec and the classifier are
   pinned together;
 - **campaign + figure cases** — a small campaign's merged
-  PartialResult digest and the Figure 2/8 series checksums.
+  PartialResult digest and the Figure 2/8 series checksums;
+- **detection cases** — the same streams plus the detection-tier
+  generators, with frozen per-flag counts, detection digests, and
+  detector state digests (under the shared
+  :func:`~repro.verify.streams.detection_topology`);
+- **attack scenarios** — each adversarial day scenario's smoke digest
+  on the single calendar engine, re-run on the parallel driver at 1
+  and 2 workers (all three digests must be identical — asserted at
+  build time, so ``--check`` enforces worker-count invariance), plus
+  its frozen detection counts and digest.
 
 ``python -m repro.verify.golden --write`` regenerates the corpus
 (byte-stable: regeneration from an unchanged tree is a no-op diff);
@@ -28,21 +37,35 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Tuple
 
+from ..analysis.detection import detect_records
 from ..analysis.interarrival import histogram_counts, interarrival_columns
 from ..analysis.timeseries import bin_records
 from ..campaign import CampaignConfig, run_campaign
 from ..collector import mrt
 from ..core.columns import RecordColumns, classify_columns
+from ..sim.adversary import ATTACK_KINDS, scenario_relationships
+from ..sim.engine import Engine
+from ..sim.scenarios import (
+    adversary_day_config,
+    run_exchange_day_records,
+    simulate,
+)
 from .differential import stream_digest, streaming_labels
 from .reference import reference_counts, reference_interarrival_histogram
-from .streams import ADVERSARIAL_GENERATORS, FuzzStream, fuzz_stream
+from .streams import (
+    ADVERSARIAL_GENERATORS,
+    DETECTION_GENERATORS,
+    FuzzStream,
+    detection_topology,
+    fuzz_stream,
+)
 
 __all__ = ["build_golden", "check_golden", "write_golden", "main"]
 
 CASES_FILE = "cases.json"
 TRACE_FILE = "trace-small.mrt"
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: The seeds whose fuzz streams are frozen (arbitrary but committed).
 FUZZ_SEEDS = (1, 2, 3, 4, 5)
@@ -62,6 +85,55 @@ def _golden_streams() -> List[FuzzStream]:
     for name in sorted(ADVERSARIAL_GENERATORS):
         streams.append(ADVERSARIAL_GENERATORS[name](ADVERSARIAL_SEED))
     return streams
+
+
+def _detection_streams() -> List[FuzzStream]:
+    """The detection corpus: every classifier stream plus the four
+    detection-tier generators (MOAS churn, sub-prefix overlap, valley
+    paths, origin flips)."""
+    streams = _golden_streams()
+    for name in sorted(DETECTION_GENERATORS):
+        streams.append(DETECTION_GENERATORS[name](ADVERSARIAL_SEED))
+    return streams
+
+
+def _detection_case(stream: FuzzStream, topology) -> Dict:
+    result = detect_records(stream.records, topology)
+    return {
+        "name": stream.name,
+        "seed": stream.seed,
+        "records": len(stream.records),
+        "counts": result.counts,
+        "digest": result.digest(stream.records),
+        "state_digest": result.detector.state_digest(),
+    }
+
+
+def _scenario_case(kind: str) -> Dict:
+    """One adversarial day scenario at the smoke preset: the calendar
+    engine's digest, the parallel driver's at 1 and 2 workers (all
+    three must agree — worker-count invariance is a build-time
+    assertion, so a regression cannot even regenerate the corpus), and
+    the detection tier's verdict on the merged record stream."""
+    config = adversary_day_config(kind, smoke=True)
+    events, digest, records = run_exchange_day_records(Engine, config)
+    for workers in (1, 2):
+        parallel = simulate(
+            kind, engine="parallel", workers=workers, smoke=True
+        )
+        assert parallel.digest == digest, (
+            f"{kind}: parallel workers={workers} digest "
+            f"{parallel.digest} != single-engine {digest}"
+        )
+    detection = detect_records(records, scenario_relationships(config))
+    return {
+        "scenario": kind,
+        "events": events,
+        "records": len(records),
+        "digest": digest,
+        "detection_counts": detection.counts,
+        "detection_digest": detection.digest(records),
+    }
 
 
 def _stream_case(stream: FuzzStream) -> Dict:
@@ -108,11 +180,17 @@ def build_golden() -> Tuple[Dict, bytes]:
     decoded = list(mrt.read_records(io.BytesIO(trace)))
     labels, state = streaming_labels(decoded)
     campaign = run_campaign(CAMPAIGN)
+    topology = detection_topology()
     payload = {
         "schema": SCHEMA_VERSION,
         "streams": [
             _stream_case(stream) for stream in _golden_streams()
         ],
+        "detection": [
+            _detection_case(stream, topology)
+            for stream in _detection_streams()
+        ],
+        "scenarios": [_scenario_case(kind) for kind in ATTACK_KINDS],
         "trace": {
             "file": TRACE_FILE,
             "sha256": hashlib.sha256(trace).hexdigest(),
@@ -175,19 +253,26 @@ def check_golden(directory) -> List[str]:
                 f"{section}: frozen {frozen.get(section)!r} "
                 f"!= current {payload[section]!r}"
             )
-    frozen_streams = {
-        (case.get("name"), case.get("seed")): case
-        for case in frozen.get("streams", [])
-    }
-    for case in payload["streams"]:
-        key = (case["name"], case["seed"])
-        if key not in frozen_streams:
-            problems.append(f"stream {key}: missing from frozen corpus")
-        elif frozen_streams[key] != case:
-            problems.append(
-                f"stream {key}: frozen {frozen_streams[key]!r} "
-                f"!= current {case!r}"
-            )
+    keyed_sections = (
+        ("streams", "stream", lambda c: (c.get("name"), c.get("seed"))),
+        ("detection", "detection", lambda c: (c.get("name"), c.get("seed"))),
+        ("scenarios", "scenario", lambda c: c.get("scenario")),
+    )
+    for section, label, key_of in keyed_sections:
+        frozen_cases = {
+            key_of(case): case for case in frozen.get(section, [])
+        }
+        for case in payload[section]:
+            key = key_of(case)
+            if key not in frozen_cases:
+                problems.append(
+                    f"{label} {key}: missing from frozen corpus"
+                )
+            elif frozen_cases[key] != case:
+                problems.append(
+                    f"{label} {key}: frozen {frozen_cases[key]!r} "
+                    f"!= current {case!r}"
+                )
     return problems
 
 

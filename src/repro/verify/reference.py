@@ -34,6 +34,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
     "FIGURE8_EDGES",
+    "DETECTION_FLAGS",
     "reference_classify",
     "reference_counts",
     "reference_counts_by_peer",
@@ -41,6 +42,10 @@ __all__ = [
     "reference_bin_counts",
     "reference_interarrival_histogram",
     "reference_digest",
+    "reference_detect",
+    "reference_detection_counts",
+    "reference_detection_digest",
+    "reference_stability",
 ]
 
 #: Figure 8's bin edges in seconds (1s 5s 30s 1m 5m 10m 30m 1h 2h 4h
@@ -217,6 +222,175 @@ def reference_interarrival_histogram(
                     counts[index] += 1
                     break
     return counts
+
+
+# -- adversarial-event detection (the oracle for repro.analysis.detection) --
+
+#: Detection flag bits, spelled out locally (the detection tier's
+#: canonical values — golden digests depend on them staying put).
+DETECTION_FLAGS: Tuple[Tuple[int, str], ...] = (
+    (1, "moas_conflict"),
+    (2, "origin_change"),
+    (4, "subprefix_foreign"),
+    (8, "subprefix_deagg"),
+    (16, "valley_violation"),
+    (32, "forged_edge"),
+)
+
+
+def _reference_path_flags(path: tuple, edges) -> int:
+    """Valley / forged-edge bits for one sender-first AS path.
+
+    ``edges`` maps ``(u, v) -> "up" | "down" | "peer"`` — the direction
+    a route travels when ``u`` exports it to ``v`` (the plain-dict form
+    of :meth:`repro.analysis.detection.AsRelationships.edges`).  The
+    final export to the observing collector is a peering session, so a
+    route is a leak (valley) whenever an up or peer hop follows any
+    non-up hop — including that implicit last one.
+    """
+    if edges is None or len(path) < 2:
+        return 0
+    collapsed: List[int] = []
+    for asn in path:
+        if not collapsed or collapsed[-1] != asn:
+            collapsed.append(asn)
+    if len(collapsed) < 2:
+        return 0
+    route = list(reversed(collapsed))  # origin first, sender last
+    hops: List[str] = []
+    for u, v in zip(route, route[1:]):
+        relation = edges.get((u, v))
+        if relation is None:
+            return 32  # forged_edge
+        hops.append(relation)
+    # The implicit final hop: sender exports to the observer, a peer.
+    hops.append("peer")
+    seen_non_up = False
+    for relation in hops:
+        if relation == "up" or relation == "peer":
+            if seen_non_up:
+                return 16  # valley_violation
+        if relation != "up":
+            seen_non_up = True
+    return 0
+
+
+def reference_detect(records: Iterable, edges=None) -> List[int]:
+    """Detection flag bitmask per record, computed the obvious way.
+
+    State is three dicts: which origin each (peer, prefix) route
+    currently announces, the multiset of origins currently announcing
+    each exact prefix, and the last origin ever announced per prefix
+    (kept across withdrawals).  Per announcement, in order: path
+    checks, retire the peer's previous origin, MOAS against the
+    remaining concurrent origins, origin-change against the historical
+    origin, sub-prefix check against the longest active strict
+    supernet, then record the new origin.
+    """
+    route_origin: Dict[tuple, int] = {}
+    origin_count: Dict[tuple, Dict[int, int]] = {}
+    last_origin: Dict[tuple, int] = {}
+    flags_out: List[int] = []
+
+    def retire(p: tuple, origin: int) -> None:
+        bucket = origin_count[p]
+        bucket[origin] -= 1
+        if bucket[origin] == 0:
+            del bucket[origin]
+        if not bucket:
+            del origin_count[p]
+
+    for record in records:
+        net, plen = record.prefix.network, record.prefix.length
+        p = (net, plen)
+        key = (record.peer_id, net, plen)
+        flags = 0
+        if record.is_announce:
+            path = tuple(record.attributes.as_path)
+            origin = path[-1] if path else record.peer_asn
+            flags = _reference_path_flags(path, edges)
+            old = route_origin.get(key)
+            if old is not None:
+                retire(p, old)
+            for other in origin_count.get(p, {}):
+                if other != origin:
+                    flags |= 1  # moas_conflict
+                    break
+            if p in last_origin and last_origin[p] != origin:
+                flags |= 2  # origin_change
+            last_origin[p] = origin
+            best = None
+            for qnet, qlen in origin_count:
+                if (
+                    qlen < plen
+                    and (net >> (32 - qlen)) << (32 - qlen) == qnet
+                    and (best is None or qlen > best[1])
+                ):
+                    best = (qnet, qlen)
+            if best is not None:
+                if origin in origin_count[best]:
+                    flags |= 8  # subprefix_deagg
+                else:
+                    flags |= 4  # subprefix_foreign
+            if p not in origin_count:
+                origin_count[p] = {}
+            origin_count[p][origin] = origin_count[p].get(origin, 0) + 1
+            route_origin[key] = origin
+        else:
+            old = route_origin.pop(key, None)
+            if old is not None:
+                retire(p, old)
+        flags_out.append(flags)
+    return flags_out
+
+
+def reference_detection_counts(records: Iterable, edges=None) -> Dict[str, int]:
+    """Cumulative per-flag totals (canonical flag order)."""
+    flags = reference_detect(list(records), edges)
+    result = {name: 0 for _, name in DETECTION_FLAGS}
+    for value in flags:
+        for bit, name in DETECTION_FLAGS:
+            if value & bit:
+                result[name] += 1
+    return result
+
+
+def reference_stability(records: Iterable) -> Dict[str, Tuple[int, int, int]]:
+    """Per-prefix ``(events, instability, withdrawals)`` counters,
+    keyed ``"network/length"`` — the integer inputs of the path-vector
+    stability score (instability = AADiff/WADiff/WADup events,
+    withdrawals = plain withdrawals of a reachable route)."""
+    records = list(records)
+    labels = reference_classify(records)
+    result: Dict[str, List[int]] = {}
+    for record, (category, _) in zip(records, labels):
+        key = f"{record.prefix.network}/{record.prefix.length}"
+        counters = result.setdefault(key, [0, 0, 0])
+        counters[0] += 1
+        if category in INSTABILITY:
+            counters[1] += 1
+        elif category == "PLAIN_WITHDRAW":
+            counters[2] += 1
+    return {key: tuple(value) for key, value in result.items()}
+
+
+def reference_detection_digest(records: Iterable, edges=None) -> str:
+    """SHA-256 over the detected stream — one line per record with its
+    flag bitmask, rendered exactly like
+    :func:`repro.analysis.detection.detection_digest` (without
+    importing it), so all three detection tiers share one digest coin.
+    """
+    records = list(records)
+    flags = reference_detect(records, edges)
+    digest = hashlib.sha256()
+    for record, value in zip(records, flags):
+        line = (
+            f"{record.time!r}|{record.peer_id}|{record.peer_asn}"
+            f"|{record.prefix.network}/{record.prefix.length}"
+            f"|{'A' if record.is_announce else 'W'}|{value}\n"
+        )
+        digest.update(line.encode("ascii"))
+    return digest.hexdigest()
 
 
 def reference_digest(records: Iterable) -> str:

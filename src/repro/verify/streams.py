@@ -39,6 +39,12 @@ __all__ = [
     "adversarial_reannounce_after_withdraw",
     "adversarial_interning_collisions",
     "ADVERSARIAL_GENERATORS",
+    "detection_topology",
+    "detection_moas_churn",
+    "detection_subprefix_overlap",
+    "detection_valley_paths",
+    "detection_origin_flip",
+    "DETECTION_GENERATORS",
 ]
 
 
@@ -328,4 +334,214 @@ ADVERSARIAL_GENERATORS: Dict[str, Callable[[int], FuzzStream]] = {
     "duplicate_timestamps": adversarial_duplicate_timestamps,
     "reannounce_after_withdraw": adversarial_reannounce_after_withdraw,
     "interning_collisions": adversarial_interning_collisions,
+}
+
+
+# -- detection-tier constructions -------------------------------------------
+#
+# These streams target repro.analysis.detection: concurrent-origin
+# (MOAS) multisets cut by batch boundaries, sub-prefix coverage,
+# valley / forged paths against a declared topology, and origin
+# history carried across withdrawals.  The topology below declares
+# relationships for *every* path the fuzz generators above emit, so
+# the detection differential can run over FUZZ_SEEDS streams too
+# (their paths all read as clean customer routes).
+
+#: Origin/transit ASNs of the detection vocabulary.
+_DET_ORIGINS = (6500, 6502)
+_DET_LEAKY_ORIGIN = 6501  # the transit's own provider — leak material
+_DET_TRANSIT = 7000
+_DET_LATERAL = 7001  # the transit's peer
+_DET_FORGED = 8999  # declared nowhere
+
+
+def detection_topology():
+    """The declared AS relationships behind every generated stream.
+
+    Returns :class:`repro.analysis.detection.AsRelationships`; pass
+    ``.edges()`` to the dependency-free oracle.  Fuzz-vocabulary paths
+    (``(asn, 3000+asn)``, ``(asn, 5000+asn, 3000+asn)``, the shared
+    ``(asn, 9001)``) are all declared as customer chains, so plain fuzz
+    streams carry no path flags; the ``detection_*`` vocabulary wires
+    one transit with a provider and a lateral peer, making valleys and
+    forgeries constructible on demand.
+    """
+    from ..analysis.detection import AsRelationships
+
+    topology = AsRelationships()
+    for _, asn in _peers(8):
+        topology.add_provider(asn, 3000 + asn)
+        topology.add_provider(5000 + asn, 3000 + asn)
+        topology.add_provider(asn, 5000 + asn)
+        topology.add_provider(asn, 9001)
+        topology.add_provider(asn, _DET_TRANSIT)
+    for origin in _DET_ORIGINS:
+        topology.add_provider(_DET_TRANSIT, origin)
+    topology.add_provider(_DET_LEAKY_ORIGIN, _DET_TRANSIT)
+    topology.add_peer(_DET_TRANSIT, _DET_LATERAL)
+    return topology
+
+
+def _det_announce(records, time, peer, prefix, origins):
+    """Append an announcement through the transit: path
+    ``(peer_asn, 7000, *origins)``."""
+    peer_id, asn = peer
+    attrs = PathAttributes(
+        as_path=AsPath((asn, _DET_TRANSIT) + tuple(origins)),
+        next_hop=peer_id,
+    )
+    records.append(
+        UpdateRecord(time, peer_id, asn, prefix, UpdateKind.ANNOUNCE, attrs)
+    )
+
+
+def detection_moas_churn(seed: int) -> FuzzStream:
+    """Concurrent origins fighting over exact prefixes.
+
+    Several peers announce the same prefixes under different origins
+    with interleaved withdrawals, so the concurrent-origin multiset
+    grows, shrinks, and empties repeatedly; batch boundaries land
+    mid-conflict, forcing the columnar tier to carry a *populated*
+    multiset across cuts."""
+    rng = random.Random(seed)
+    peers = _peers(3)
+    prefixes = _prefixes(2)
+    records: List[UpdateRecord] = []
+    boundaries: List[int] = []
+    time = 0.0
+    for _ in range(40):
+        time += rng.choice([0.0, 1.0, 30.0])
+        peer = rng.choice(peers)
+        prefix = rng.choice(prefixes)
+        if rng.random() < 0.3:
+            peer_id, asn = peer
+            records.append(
+                UpdateRecord(time, peer_id, asn, prefix, UpdateKind.WITHDRAW)
+            )
+        else:
+            _det_announce(
+                records, time, peer, prefix, (rng.choice(_DET_ORIGINS),)
+            )
+        if rng.random() < 0.15:
+            boundaries.append(len(records))
+    boundaries = sorted({b for b in boundaries if 0 < b < len(records)})
+    return FuzzStream("detection_moas_churn", seed, records, boundaries)
+
+
+def detection_subprefix_overlap(seed: int) -> FuzzStream:
+    """Covering prefixes and more-specifics under shifting origins.
+
+    A /16 cover, /20 middles, and /24 leaves are announced and
+    withdrawn so the *longest active* covering prefix changes over
+    time, and the same more-specific flips between deaggregation (own
+    origin covers) and foreign sub-prefix (only other origins cover).
+    """
+    rng = random.Random(seed)
+    peers = _peers(2)
+    cover = Prefix(10 << 24, 16)
+    middles = [Prefix((10 << 24) + (i << 12), 20) for i in range(2)]
+    leaves = [Prefix((10 << 24) + (i << 8), 24) for i in range(4)]
+    records: List[UpdateRecord] = []
+    boundaries: List[int] = []
+    time = 0.0
+
+    def step(prefix, origin=None):
+        nonlocal time
+        time += rng.choice([0.0, 30.0])
+        peer = rng.choice(peers)
+        if origin is None:
+            peer_id, asn = peer
+            records.append(
+                UpdateRecord(time, peer_id, asn, prefix, UpdateKind.WITHDRAW)
+            )
+        else:
+            _det_announce(records, time, peer, prefix, (origin,))
+
+    step(cover, _DET_ORIGINS[0])
+    for _ in range(30):
+        roll = rng.random()
+        if roll < 0.2:
+            # Toggle a middle cover under either origin.
+            step(rng.choice(middles), rng.choice(_DET_ORIGINS))
+        elif roll < 0.35:
+            step(rng.choice(middles + [cover]))  # withdraw a cover
+        else:
+            step(rng.choice(leaves), rng.choice(_DET_ORIGINS))
+        if rng.random() < 0.2:
+            boundaries.append(len(records))
+    boundaries = sorted({b for b in boundaries if 0 < b < len(records)})
+    return FuzzStream("detection_subprefix_overlap", seed, records, boundaries)
+
+
+def detection_valley_paths(seed: int) -> FuzzStream:
+    """Clean customer routes, leaks, and forgeries side by side.
+
+    Paths through the declared transit are valley-free
+    (``origin → transit → peer``); paths originating at the transit's
+    *provider* descend then re-export to the observer (a leak); paths
+    through an undeclared ASN are forged; peer-lateral routes
+    (``lateral → transit → peer``) violate up-after-peer.  Prepending
+    is mixed in — collapsed before edge derivation, it must not change
+    any verdict."""
+    rng = random.Random(seed)
+    peers = _peers(2)
+    prefixes = _prefixes(3)
+    records: List[UpdateRecord] = []
+    time = 0.0
+    shapes = (
+        (_DET_ORIGINS[0],),  # clean
+        (_DET_ORIGINS[1], _DET_ORIGINS[1]),  # clean, prepended
+        (_DET_LEAKY_ORIGIN,),  # provider route re-exported: leak
+        (_DET_LATERAL,),  # peer route re-exported: leak
+        (_DET_FORGED,),  # undeclared adjacency: forgery
+        (_DET_FORGED, _DET_ORIGINS[0]),  # forged mid-path
+    )
+    for _ in range(36):
+        time += rng.choice([1.0, 30.0])
+        _det_announce(
+            records,
+            time,
+            rng.choice(peers),
+            rng.choice(prefixes),
+            rng.choice(shapes),
+        )
+    boundary = rng.randint(1, len(records) - 1)
+    return FuzzStream("detection_valley_paths", seed, records, [boundary])
+
+
+def detection_origin_flip(seed: int) -> FuzzStream:
+    """Origin history across withdrawals.
+
+    One prefix changes hands repeatedly with full withdrawals in
+    between — the origin-change tracker must remember the last origin
+    through the empty multiset, including across batch cuts placed
+    exactly at the hand-over points."""
+    rng = random.Random(seed)
+    peer = _peers(1)[0]
+    peer_id, asn = peer
+    prefix = _prefixes(1)[0]
+    records: List[UpdateRecord] = []
+    boundaries: List[int] = []
+    time = 0.0
+    for flip in range(8):
+        origin = _DET_ORIGINS[flip % len(_DET_ORIGINS)]
+        for _ in range(rng.randint(1, 3)):
+            time += 30.0
+            _det_announce(records, time, peer, prefix, (origin,))
+        time += 30.0
+        records.append(
+            UpdateRecord(time, peer_id, asn, prefix, UpdateKind.WITHDRAW)
+        )
+        boundaries.append(len(records))
+    boundaries = sorted({b for b in boundaries if 0 < b < len(records)})
+    return FuzzStream("detection_origin_flip", seed, records, boundaries)
+
+
+#: name → generator(seed); the detection differential iterates these
+#: on top of FUZZ_SEEDS and ADVERSARIAL_GENERATORS.
+DETECTION_GENERATORS: Dict[str, Callable[[int], FuzzStream]] = {
+    "detection_moas_churn": detection_moas_churn,
+    "detection_subprefix_overlap": detection_subprefix_overlap,
+    "detection_valley_paths": detection_valley_paths,
+    "detection_origin_flip": detection_origin_flip,
 }

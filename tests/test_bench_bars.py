@@ -1,0 +1,91 @@
+"""The benchmark bar-skip policy (benchmarks/bar_policy.py).
+
+Skipping the timed 4-worker bars must be legitimate only on machines
+that cannot physically pass them (< 4 CPUs) or under an explicit
+``REPRO_ALLOW_BAR_SKIP`` waiver; on a >= 4-CPU machine a silent skip is
+a hard failure.  The CPU count is injectable via ``REPRO_BENCH_CPUS``
+so both sides of the policy are testable anywhere.
+"""
+
+import importlib.util
+import os
+from pathlib import Path
+
+import pytest
+
+_POLICY_PATH = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "bar_policy.py"
+)
+_spec = importlib.util.spec_from_file_location("bar_policy", _POLICY_PATH)
+bar_policy = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bar_policy)
+
+
+class TestAvailableCpus:
+    def test_injected_count_wins(self):
+        assert bar_policy.available_cpus({"REPRO_BENCH_CPUS": "8"}) == 8
+        assert bar_policy.available_cpus({"REPRO_BENCH_CPUS": "1"}) == 1
+
+    def test_detected_count_is_positive(self):
+        assert bar_policy.available_cpus({}) >= 1
+
+    def test_affinity_aware_when_available(self):
+        if not hasattr(os, "sched_getaffinity"):
+            pytest.skip("no CPU affinity on this platform")
+        assert bar_policy.available_cpus({}) == len(
+            os.sched_getaffinity(0)
+        )
+
+
+class TestBarSkipFailure:
+    def test_enforced_bar_is_never_a_failure(self):
+        assert bar_policy.bar_skip_failure("x", None, 64, {}) is None
+
+    def test_skip_below_four_cpus_is_legitimate(self):
+        for cpus in (1, 2, 3):
+            assert (
+                bar_policy.bar_skip_failure("x", "--no-bar", cpus, {})
+                is None
+            )
+
+    def test_skip_on_big_box_fails_hard(self):
+        failure = bar_policy.bar_skip_failure(
+            "campaign 1.7x @ 4 workers", "--no-bar", 4, {}
+        )
+        assert failure is not None
+        assert "campaign 1.7x @ 4 workers" in failure
+        assert "--no-bar" in failure
+        assert "REPRO_ALLOW_BAR_SKIP" in failure
+
+    def test_explicit_waiver_allows_the_skip(self):
+        assert (
+            bar_policy.bar_skip_failure(
+                "x", "--no-bar", 16, {"REPRO_ALLOW_BAR_SKIP": "1"}
+            )
+            is None
+        )
+
+    def test_empty_waiver_does_not_count(self):
+        assert (
+            bar_policy.bar_skip_failure(
+                "x", "smoke", 8, {"REPRO_ALLOW_BAR_SKIP": ""}
+            )
+            is not None
+        )
+
+
+class TestHarnessIntegration:
+    def _load(self, name):
+        path = _POLICY_PATH.parent / name
+        spec = importlib.util.spec_from_file_location(name[:-3], path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_both_harnesses_share_the_policy(self):
+        run_bench = self._load("run_bench.py")
+        bench_sim = self._load("bench_sim.py")
+        assert run_bench.bar_skip_failure is not None
+        assert bench_sim.bar_skip_failure is not None
+        # identical semantics: same module-level constants
+        assert bar_policy.MIN_BAR_CPUS == 4

@@ -225,3 +225,117 @@ def test_report_summary_counts():
     assert report.streams == 2
     assert "2 streams" in report.summary()
     assert report.summary().endswith("OK")
+
+
+# -- the detection differential ---------------------------------------------
+
+
+def make_detection_streams(n_fuzz, adversarial_seeds):
+    """Fuzz + adversarial + detection-tier generators: every stream the
+    detection differential is held to."""
+    from repro.verify.streams import DETECTION_GENERATORS
+
+    streams = make_streams(n_fuzz, adversarial_seeds)
+    for name in sorted(DETECTION_GENERATORS):
+        streams.extend(
+            DETECTION_GENERATORS[name](seed)
+            for seed in range(adversarial_seeds)
+        )
+    return streams
+
+
+class TestDetectionTiersAgree:
+    def test_quick_campaign(self):
+        from repro.verify.differential import run_detection_differential
+        from repro.verify.streams import detection_topology
+
+        report = run_detection_differential(
+            make_detection_streams(20, 3), detection_topology()
+        )
+        assert_ok(report)
+        assert report.streams == 44
+        assert report.records > 2000
+
+    @pytest.mark.fuzz
+    def test_large_campaign(self):
+        from repro.verify.differential import run_detection_differential
+        from repro.verify.streams import detection_topology
+
+        report = run_detection_differential(
+            make_detection_streams(200, 25),
+            detection_topology(),
+            shrink=False,
+        )
+        assert report.streams == 400
+        assert_ok(report)
+
+    def test_topology_free_detection_also_agrees(self):
+        from repro.verify.differential import run_detection_differential
+
+        # With no declared topology the path flags are all zero but the
+        # MOAS / origin / sub-prefix machinery still must agree.
+        report = run_detection_differential(
+            make_detection_streams(10, 2), topology=None
+        )
+        assert_ok(report)
+
+    def test_detection_generators_exercise_every_flag(self):
+        from repro.verify.reference import (
+            DETECTION_FLAGS,
+            reference_detection_counts,
+        )
+        from repro.verify.streams import detection_topology
+
+        edges = detection_topology().edges()
+        totals = {name: 0 for _, name in DETECTION_FLAGS}
+        for stream in make_detection_streams(5, 2):
+            for name, count in reference_detection_counts(
+                stream.records, edges
+            ).items():
+                totals[name] += count
+        assert all(count > 0 for count in totals.values()), totals
+
+
+def broken_moas_tier(records, topology=None):
+    """A streaming detection tier that forgets to retire a peer's old
+    origin on re-announcement — origins accumulate and MOAS over-fires."""
+    from repro.analysis.detection import StreamDetector
+    from repro.core.classifier import StreamClassifier
+
+    detector = StreamDetector(topology)
+    classifier = StreamClassifier()
+    flags = []
+    for record in records:
+        category = classifier.feed(record).category
+        if record.is_announce:
+            key = (record.peer_id, record.prefix.network,
+                   record.prefix.length)
+            detector._route_origin.pop(key, None)  # the bug
+        flags.append(detector.feed(record, category))
+    return flags, None
+
+
+class TestBrokenDetectionTiersAreCaught:
+    def test_leaky_multiset_caught_and_shrunk(self):
+        from repro.verify.differential import run_detection_differential
+        from repro.verify.streams import detection_topology
+
+        report = run_detection_differential(
+            make_detection_streams(10, 2),
+            detection_topology(),
+            stream_tier=broken_moas_tier,
+        )
+        assert not report.ok
+        found = report.mismatches[0]
+        assert found.tier == "det-streaming"
+        assert found.shrunk is not None
+        assert len(found.shrunk) <= 10  # same acceptance bar
+
+    def test_clean_tiers_pass_the_same_streams(self):
+        from repro.verify.differential import run_detection_differential
+        from repro.verify.streams import detection_topology
+
+        report = run_detection_differential(
+            make_detection_streams(10, 2), detection_topology()
+        )
+        assert report.ok

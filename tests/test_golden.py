@@ -89,7 +89,50 @@ def test_cli_check_and_write(tmp_path, capsys):
 def test_build_golden_covers_all_sections():
     payload, trace = build_golden()
     assert set(payload) == {
-        "schema", "streams", "trace", "campaign", "figures"
+        "schema", "streams", "detection", "scenarios", "trace",
+        "campaign", "figures",
     }
     assert len(payload["streams"]) == 9  # 5 fuzz seeds + 4 adversarial
+    # detection adds the 4 detection-tier generators to those 9
+    assert len(payload["detection"]) == 13
+    assert len(payload["scenarios"]) == 5  # one per attack kind
     assert trace.startswith(mrt.MAGIC)
+
+
+def test_check_flags_a_doctored_detection_case(tmp_path):
+    write_golden(tmp_path)
+    cases_path = tmp_path / CASES_FILE
+    cases = json.loads(cases_path.read_text())
+    cases["detection"][0]["digest"] = "f" * 64
+    cases_path.write_text(json.dumps(cases, indent=2, sort_keys=True))
+    problems = check_golden(tmp_path)
+    assert any("detection" in problem for problem in problems)
+
+
+def test_check_flags_a_doctored_scenario_case(tmp_path):
+    write_golden(tmp_path)
+    cases_path = tmp_path / CASES_FILE
+    cases = json.loads(cases_path.read_text())
+    cases["scenarios"][0]["detection_counts"]["moas_conflict"] = 10**6
+    cases_path.write_text(json.dumps(cases, indent=2, sort_keys=True))
+    problems = check_golden(tmp_path)
+    assert any("scenario" in problem for problem in problems)
+
+
+def test_scenario_cases_cover_every_attack_kind():
+    from repro.sim.adversary import ATTACK_KINDS
+
+    cases = json.loads((GOLDEN_DIR / CASES_FILE).read_text())
+    frozen = {case["scenario"] for case in cases["scenarios"]}
+    assert frozen == set(ATTACK_KINDS)
+    # every attack's signature flag is non-zero in its frozen counts
+    signatures = {
+        "hijack_moas": "moas_conflict",
+        "hijack_subprefix": "subprefix_foreign",
+        "route_leak": "valley_violation",
+        "path_forgery": "forged_edge",
+        "deagg_storm": "subprefix_deagg",
+    }
+    for case in cases["scenarios"]:
+        flag = signatures[case["scenario"]]
+        assert case["detection_counts"][flag] > 0, case["scenario"]

@@ -35,7 +35,13 @@ from typing import List, Optional
 from .config import ShardSpec, canonical_json, sha256_text
 from .manifest import CampaignLayout
 
-__all__ = ["HandoffError", "ShardHandoff", "publish_partial", "collect_partial"]
+__all__ = [
+    "HandoffError",
+    "ShardHandoff",
+    "TRANSFERABLE_TYPES",
+    "publish_partial",
+    "collect_partial",
+]
 
 
 class HandoffError(RuntimeError):
@@ -59,6 +65,12 @@ class ShardHandoff:
     chunks: List[dict] = field(default_factory=list)
     shm_name: Optional[str] = None
     inline: Optional[bytes] = None
+
+
+#: Process-boundary contract (CON001): the descriptor is the only
+#: project type this module lets cross a worker seam — payload bytes
+#: travel out-of-band (file/shm) and are digest-verified on arrival.
+TRANSFERABLE_TYPES = (ShardHandoff,)
 
 
 def _publish_shm(blob: bytes) -> Optional[str]:

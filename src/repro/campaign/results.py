@@ -260,7 +260,6 @@ class CampaignResult:
     shard_count: int
     shards_run: int
     shards_loaded: int
-    elapsed: float = 0.0
 
     @property
     def complete(self) -> bool:

@@ -11,6 +11,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
@@ -20,7 +21,12 @@ from .rules import all_rules
 
 __all__ = ["main", "build_report"]
 
-JSON_SCHEMA_VERSION = 1
+#: Bumped 1 -> 2 when the whole-program passes landed: the report
+#: gained ``cache`` (hits/misses) and an optional ``stats`` block.
+JSON_SCHEMA_VERSION = 2
+
+#: Default on-disk result cache, keyed by content sha (gitignored).
+CACHE_FILENAME = ".lint-cache.json"
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -73,6 +79,37 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="analyze uncached files with N worker processes "
+        "(default: 1, serial)",
+    )
+    parser.add_argument(
+        "--graph",
+        metavar="FILE",
+        help="write the project call graph (nodes, edges, impure "
+        "sites) as JSON to FILE",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print findings per rule, files analyzed, cache hit "
+        "rate, and wall time to stderr",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="FILE",
+        help=f"per-file result cache location "
+        f"(default: <root>/{CACHE_FILENAME})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the per-file result cache for this run",
+    )
     return parser
 
 
@@ -82,6 +119,8 @@ def build_report(
     baselined: int,
     suppressed: int,
     files: int,
+    cache_hits: int = 0,
+    cache_misses: int = 0,
 ) -> dict:
     counts: dict = {}
     for finding in new:
@@ -94,7 +133,29 @@ def build_report(
         "counts": {rule: counts[rule] for rule in sorted(counts)},
         "baselined": baselined,
         "suppressed": suppressed,
+        "cache": {"hits": cache_hits, "misses": cache_misses},
     }
+
+
+def _render_stats(
+    report: dict, elapsed: float, jobs: int
+) -> str:
+    cache = report["cache"]
+    looked_up = cache["hits"] + cache["misses"]
+    rate = cache["hits"] / looked_up if looked_up else 0.0
+    lines = [
+        f"files analyzed:   {report['files']} "
+        f"({cache['misses']} parsed, {cache['hits']} from cache; "
+        f"hit rate {rate:.0%})",
+        f"jobs:             {jobs}",
+        f"wall time:        {elapsed:.2f}s",
+        f"findings:         {len(report['findings'])} new, "
+        f"{report['baselined']} baselined, "
+        f"{report['suppressed']} suppressed",
+    ]
+    for rule, count in report["counts"].items():
+        lines.append(f"  {rule:8s} {count}")
+    return "\n".join(lines)
 
 
 def _list_rules() -> str:
@@ -128,14 +189,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         baseline_path = Path(args.baseline)
     else:
         baseline_path = root / "lint-baseline.json"
+    if args.no_cache:
+        cache_path = None
+    elif args.cache is not None:
+        cache_path = Path(args.cache)
+    else:
+        cache_path = root / CACHE_FILENAME
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
 
     engine = LintEngine(root)
+    # lint: allow[DET002] -- wall time is --stats display output only
+    started = time.perf_counter()
     try:
-        result = engine.lint_paths(paths)
+        result = engine.lint_paths(
+            paths, jobs=args.jobs, cache_path=cache_path
+        )
         baseline = load_baseline(baseline_path)
     except (LintError, ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    # lint: allow[DET002] -- wall time is --stats display output only
+    elapsed = time.perf_counter() - started
+
+    if args.graph:
+        program = engine.last_program
+        payload = program.graph.to_payload() if program else {}
+        Path(args.graph).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
 
     if args.fix_baseline:
         write_baseline(baseline_path, result.findings)
@@ -146,7 +230,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     new, baselined = apply_baseline(result.findings, baseline)
     report = build_report(
-        root, new, baselined, len(result.suppressed), result.files
+        root,
+        new,
+        baselined,
+        len(result.suppressed),
+        result.files,
+        cache_hits=result.cache_hits,
+        cache_misses=result.cache_misses,
     )
     if args.output:
         Path(args.output).write_text(
@@ -164,4 +254,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{len(result.suppressed)} pragma-suppressed"
         )
         print(summary)
+    if args.stats:
+        print(_render_stats(report, elapsed, args.jobs), file=sys.stderr)
     return 1 if new else 0

@@ -14,13 +14,22 @@ from __future__ import annotations
 from typing import List
 
 from ..engine import Rule
+from .con001_transferable import TransferableRule
 from .det001_global_random import GlobalRandomRule
 from .det002_wall_clock import WallClockRule
 from .det003_unsorted_iter import UnsortedIterationRule
 from .det004_builtin_hash import BuiltinHashRule
+from .det1xx_taint import (
+    TaintEnvironRule,
+    TaintGlobalRandomRule,
+    TaintSaltedHashRule,
+    TaintUnsortedIterRule,
+    TaintWallClockRule,
+)
 from .hot001_slots import SlotsRule
 from .lint000_pragma import PragmaRule
 from .mrg001_merge_registry import MergeRegistryRule
+from .pro001_protocol import ProtocolConformanceRule
 
 __all__ = ["all_rules", "rules_by_id"]
 
@@ -30,8 +39,15 @@ _RULE_CLASSES = (
     WallClockRule,
     UnsortedIterationRule,
     BuiltinHashRule,
+    TaintGlobalRandomRule,
+    TaintWallClockRule,
+    TaintUnsortedIterRule,
+    TaintSaltedHashRule,
+    TaintEnvironRule,
     SlotsRule,
     MergeRegistryRule,
+    TransferableRule,
+    ProtocolConformanceRule,
 )
 
 

@@ -1,0 +1,111 @@
+"""DET101–DET105: interprocedural determinism taint.
+
+The per-file determinism rules (DET001–DET004) see one call site; a
+pragma there asserts "this impurity never reaches a digest" — and
+nothing checks the assertion.  These rules do: any function reachable
+from a digest entry point (``state_digest``, ``detection_digest``,
+``partition_digest``, ``combined_digest``, the golden-corpus
+builders) that *transitively* reaches an impure source is a finding,
+anchored at the impure source line with the full call chain in the
+message.
+
+The ids are disjoint from the per-file family on purpose: a
+``# lint: allow[DET002]`` does not silence DET102.  Proving a clock
+read harmless locally ("display only") and proving it unreachable
+from every digest are different claims; each needs its own pragma
+with its own justification.  DET105 (environment reads) has no
+per-file counterpart at all — ``os.environ`` is fine in CLI glue and
+only becomes a hazard when a digest can see it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..engine import Finding, ProgramContext, ProgramRule
+
+__all__ = [
+    "TaintEnvironRule",
+    "TaintGlobalRandomRule",
+    "TaintSaltedHashRule",
+    "TaintUnsortedIterRule",
+    "TaintWallClockRule",
+]
+
+
+class _TaintRule(ProgramRule):
+    """Shared driver: the taint pass runs once per engine run (cached
+    on the ProgramContext); each id filters for its own findings."""
+
+    def check_program(
+        self, program: ProgramContext
+    ) -> Iterable[Finding]:
+        for payload in program.taint_findings():
+            if payload["rule"] != self.id:
+                continue
+            yield program.finding(
+                self.id,
+                payload["path"],
+                payload["line"],
+                payload["message"],
+            )
+
+
+class TaintGlobalRandomRule(_TaintRule):
+    id = "DET101"
+    title = "global RNG reachable from a digest entry point"
+    rationale = (
+        "A module-level random.* draw anywhere under a digest's call "
+        "graph makes the digest depend on interpreter-global RNG "
+        "state.  DET001 flags the call site; DET101 proves a digest "
+        "can actually reach it — route a seeded random.Random "
+        "instance instead."
+    )
+
+
+class TaintWallClockRule(_TaintRule):
+    id = "DET102"
+    title = "wall-clock read reachable from a digest entry point"
+    rationale = (
+        "time.time()/perf_counter()/datetime.now() reachable from a "
+        "digest means rerunning the same input can hash differently. "
+        "A DET002 pragma claims the value is display-only; DET102 is "
+        "the static check of that claim — it fires exactly when the "
+        "clock read sits under state_digest/detection_digest/"
+        "partition_digest/combined_digest or the golden-corpus "
+        "builders, with the offending call chain in the message."
+    )
+
+
+class TaintUnsortedIterRule(_TaintRule):
+    id = "DET103"
+    title = "unsorted iteration reachable from a digest entry point"
+    rationale = (
+        "Set/dict/filesystem iteration order is not part of the "
+        "language contract; three frames below a digest it silently "
+        "reorders the bytes being hashed.  Same fix as DET003 "
+        "(sorted()/canonical order), enforced transitively."
+    )
+
+
+class TaintSaltedHashRule(_TaintRule):
+    id = "DET104"
+    title = "salted hash() reachable from a digest entry point"
+    rationale = (
+        "builtins.hash() of str/bytes changes per process "
+        "(PYTHONHASHSEED); feeding it into anything a digest reaches "
+        "breaks cross-run stability.  Use hashlib or the repo's "
+        "stable-hash helpers."
+    )
+
+
+class TaintEnvironRule(_TaintRule):
+    id = "DET105"
+    title = "environment read reachable from a digest entry point"
+    rationale = (
+        "os.environ/os.getenv under a digest makes the result depend "
+        "on host configuration.  There is deliberately no per-file "
+        "rule for environment reads — they are legitimate in CLI "
+        "glue — so this interprocedural check is the only line of "
+        "defense."
+    )

@@ -1,0 +1,52 @@
+"""Whole-program semantic layer for ``repro.lint``.
+
+Per-file rules see one AST; the semantic layer sees the project:
+
+- :mod:`~repro.lint.semantic.symbols` — per-module summaries (import
+  aliases with relative-import resolution, functions, classes,
+  registries, type descriptors) and the cross-module
+  :class:`~repro.lint.semantic.symbols.ProjectIndex`;
+- :mod:`~repro.lint.semantic.callgraph` — the conservative call graph
+  (direct calls, inferred method dispatch, Protocol fan-out, escaping
+  function references);
+- :mod:`~repro.lint.semantic.taint` — impure facts propagated to a
+  fixed point, and the DET1xx findings with full call chains;
+- :mod:`~repro.lint.semantic.cache` — the content-sha result cache
+  that keeps whole-program mode fast on warm runs.
+"""
+
+from .cache import ResultCache, content_sha
+from .callgraph import CallGraph, build_callgraph
+from .symbols import (
+    ANALYZER_VERSION,
+    ModuleSummary,
+    ProjectIndex,
+    module_name_for,
+    summarize_module,
+)
+from .taint import (
+    ENTRY_NAMES,
+    TAINT_RULES,
+    direct_impure_sites,
+    entry_points,
+    propagate,
+    taint_findings,
+)
+
+__all__ = [
+    "ANALYZER_VERSION",
+    "CallGraph",
+    "ENTRY_NAMES",
+    "ModuleSummary",
+    "ProjectIndex",
+    "ResultCache",
+    "TAINT_RULES",
+    "build_callgraph",
+    "content_sha",
+    "direct_impure_sites",
+    "entry_points",
+    "module_name_for",
+    "propagate",
+    "summarize_module",
+    "taint_findings",
+]

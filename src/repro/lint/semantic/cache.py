@@ -1,0 +1,98 @@
+"""Content-addressed per-file result cache for whole-program lint.
+
+Whole-program mode re-reads the entire tree every run; almost none of
+it changed since the last run.  The cache keys each file's *complete*
+per-file phase output — findings, pragma-suppressed findings, the
+pragma inventory, and the semantic summary the program passes consume
+— on the sha256 of its bytes, so an unchanged file costs one hash and
+zero parses.  Program-level passes (taint, contracts, conformance)
+always run fresh over the summaries: they are cheap once summaries
+exist, and caching them would couple a file's cache entry to every
+*other* file's content.
+
+The cache version token folds in the enabled rule ids and
+:data:`~repro.lint.semantic.symbols.ANALYZER_VERSION`, so changing
+the rule pack or the summary shape silently invalidates everything —
+a stale-schema cache can never masquerade as a clean run.  The file
+itself (default ``.lint-cache.json`` under the lint root) is an
+untracked artifact; deleting it is always safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Optional
+
+__all__ = ["CACHE_SCHEMA", "ResultCache", "content_sha"]
+
+CACHE_SCHEMA = 1
+
+
+def content_sha(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class ResultCache:
+    """Load/store per-file phase results keyed on content sha."""
+
+    def __init__(self, path: Optional[Path], version: str) -> None:
+        self.path = path
+        self.version = version
+        self.entries: Dict[str, dict] = {}
+        self.dirty = False
+        if path is None:
+            return
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if (
+            isinstance(raw, dict)
+            and raw.get("schema") == CACHE_SCHEMA
+            and raw.get("version") == version
+            and isinstance(raw.get("files"), dict)
+        ):
+            self.entries = raw["files"]
+
+    def get(self, rel: str, sha: str) -> Optional[dict]:
+        entry = self.entries.get(rel)
+        if entry is not None and entry.get("sha") == sha:
+            return entry.get("result")
+        return None
+
+    def put(self, rel: str, sha: str, result: dict) -> None:
+        self.entries[rel] = {"sha": sha, "result": result}
+        self.dirty = True
+
+    def save(self, keep: Optional[Iterable[str]] = None) -> None:
+        """Persist, pruning entries for files no longer linted (so
+        deletions do not grow the cache forever)."""
+        if self.path is None:
+            return
+        entries = self.entries
+        if keep is not None:
+            wanted = set(keep)
+            pruned = {
+                rel: entry
+                for rel, entry in entries.items()
+                if rel in wanted
+            }
+            if len(pruned) != len(entries):
+                self.dirty = True
+            entries = pruned
+        if not self.dirty:
+            return
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "version": self.version,
+            "files": entries,
+        }
+        try:
+            self.path.write_text(
+                json.dumps(payload, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        except OSError:
+            pass  # a read-only tree degrades to cold runs, not errors

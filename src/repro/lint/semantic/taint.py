@@ -1,0 +1,226 @@
+"""Interprocedural determinism taint: impure facts, propagated to a
+fixed point over the call graph.
+
+The per-file determinism rules (DET001–DET004) flag an impure
+*call site*; this pass answers the question they cannot: **can a
+digest reach it?**  The repo's digests — ``state_digest``,
+``detection_digest``, ``partition_digest``, ``combined_digest``, and
+the golden-corpus builders — are the bit-stability contract; any
+wall-clock read, global-RNG draw, environment read, unsorted
+iteration, or salted ``hash`` transitively reachable from one is a
+latent nondeterminism that no per-file rule and no lucky fuzz seed is
+guaranteed to catch.
+
+Two passes over the graph:
+
+- :func:`propagate` — a backward worklist: a function is tainted by
+  the impure facts of everything it can call, iterated to a fixed
+  point (recursive and mutually recursive chains converge because the
+  lattice — sets of rule ids — is finite and monotone);
+- :func:`taint_findings` — forward BFS from the digest entry points;
+  every reachable function's *direct* impure site becomes a finding
+  anchored at that source line, carrying the full entry→source call
+  chain in the message.
+
+Anchoring at the source site (not the digest) is what makes the
+existing pragma machinery compose: a ``# lint: allow[DET102] -- ...``
+on the offending line is a reviewable claim about that line, and a
+per-file ``DET002`` pragma does *not* silence the interprocedural
+finding — reachability from a digest is exactly the evidence that
+such a pragma's "display-only" justification needs re-review.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterable, List, Optional
+
+from ..engine import ModuleContext
+from .callgraph import CallGraph
+
+__all__ = [
+    "ENTRY_NAMES",
+    "TAINT_RULES",
+    "direct_impure_sites",
+    "entry_points",
+    "propagate",
+    "taint_findings",
+]
+
+#: Bare function names treated as determinism-critical roots.  Digest
+#: methods across tiers share these names by repo convention; the
+#: golden-corpus builders are the other place a stray clock read
+#: becomes a corrupted frozen artifact.
+ENTRY_NAMES = frozenset(
+    {
+        "state_digest",
+        "detection_digest",
+        "partition_digest",
+        "combined_digest",
+        "route_state_digest",
+        "build_golden",
+        "write_golden",
+    }
+)
+
+#: Interprocedural rule id -> (per-file counterpart, human label).
+TAINT_RULES = {
+    "DET101": ("DET001", "global RNG draw"),
+    "DET102": ("DET002", "wall-clock read"),
+    "DET103": ("DET003", "unsorted iteration"),
+    "DET104": ("DET004", "salted hash()"),
+    "DET105": (None, "environment read"),
+}
+
+_PER_FILE_TO_TAINT = {
+    "DET001": "DET101",
+    "DET002": "DET102",
+    "DET003": "DET103",
+    "DET004": "DET104",
+}
+
+#: ``os.environ`` / ``os.getenv`` origins (DET105 has no per-file
+#: counterpart: environment reads are legitimate in CLI glue, so only
+#: reachability from a digest makes one a finding).
+_ENV_ORIGINS = frozenset(
+    {"os.environ", "os.getenv", "os.environb", "os.getenvb"}
+)
+
+
+def direct_impure_sites(ctx: ModuleContext) -> List[dict]:
+    """Every impure site in one file, as taint sources.
+
+    Re-runs the per-file determinism rules (so per-file and
+    interprocedural semantics can never drift apart) — *ignoring*
+    per-file pragmas, which suppress the local finding but not the
+    fact — and adds the environment-read scan.
+    """
+    from ..rules.det001_global_random import GlobalRandomRule
+    from ..rules.det002_wall_clock import WallClockRule
+    from ..rules.det003_unsorted_iter import UnsortedIterationRule
+    from ..rules.det004_builtin_hash import BuiltinHashRule
+
+    sites: List[dict] = []
+    for rule in (
+        GlobalRandomRule(),
+        WallClockRule(),
+        UnsortedIterationRule(),
+        BuiltinHashRule(),
+    ):
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            sites.append(
+                {
+                    "line": finding.line,
+                    "rule": _PER_FILE_TO_TAINT[finding.rule],
+                    "what": finding.message,
+                }
+            )
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.Attribute, ast.Name)):
+            continue
+        origin = ctx.resolve(node)
+        if origin in _ENV_ORIGINS:
+            parent = ctx.parent(node)
+            if (
+                isinstance(parent, ast.Attribute)
+                and ctx.resolve(parent) in _ENV_ORIGINS
+            ):
+                continue  # counted once, at the outermost origin
+            sites.append(
+                {
+                    "line": node.lineno,
+                    "rule": "DET105",
+                    "what": (
+                        f"reads the process environment ({origin}) — "
+                        "host-dependent state"
+                    ),
+                }
+            )
+    sites.sort(key=lambda site: (site["line"], site["rule"]))
+    return sites
+
+
+def entry_points(graph: CallGraph) -> List[str]:
+    """Every graph node whose bare name is a digest entry name."""
+    return sorted(
+        fqn
+        for fqn, info in graph.nodes.items()
+        if info["name"] in ENTRY_NAMES
+    )
+
+
+def propagate(graph: CallGraph) -> Dict[str, FrozenSet[str]]:
+    """Transitive taint per function: the backward fixed point.
+
+    Each function's taint set is its own direct impure rules unioned
+    with the taint sets of everything it calls; iterate until nothing
+    changes.  Converges on arbitrary (including cyclic) graphs: the
+    per-node sets only grow and are bounded by the finite rule set.
+    """
+    taints: Dict[str, set] = {
+        fqn: {site["rule"] for site in info["impure"]}
+        for fqn, info in graph.nodes.items()
+    }
+    callers: Dict[str, List[str]] = {}
+    successors: Dict[str, List[str]] = {}
+    for src, dst, _line, _kind in graph.edges:
+        callers.setdefault(dst, []).append(src)
+        successors.setdefault(src, []).append(dst)
+    worklist = sorted(fqn for fqn, rules in taints.items() if rules)
+    pending = set(worklist)
+    while worklist:
+        current = worklist.pop()
+        pending.discard(current)
+        facts = taints[current]
+        for caller in callers.get(current, ()):
+            before = len(taints[caller])
+            taints[caller] |= facts
+            if len(taints[caller]) != before and caller not in pending:
+                worklist.append(caller)
+                pending.add(caller)
+    return {fqn: frozenset(rules) for fqn, rules in taints.items()}
+
+
+def taint_findings(
+    graph: CallGraph, only: Optional[Iterable[str]] = None
+) -> List[dict]:
+    """DET1xx finding payloads: ``{"rule", "path", "line", "message"}``.
+
+    One finding per (rule, source path, source line), anchored at the
+    impure site so pragmas land where the hazard lives; the message
+    carries the full entry-to-source call chain.
+    """
+    entries = entry_points(graph)
+    if not entries:
+        return []
+    wanted = frozenset(only) if only is not None else None
+    parents = graph.reachable_from(entries)
+    found: Dict[tuple, dict] = {}
+    for fqn in sorted(parents):
+        info = graph.nodes[fqn]
+        for site in info["impure"]:
+            rule = site["rule"]
+            if wanted is not None and rule not in wanted:
+                continue
+            key = (rule, info["path"], site["line"])
+            if key in found:
+                continue
+            chain = CallGraph.chain(parents, fqn)
+            label = TAINT_RULES[rule][1]
+            found[key] = {
+                "rule": rule,
+                "path": info["path"],
+                "line": site["line"],
+                "message": (
+                    f"{label} reachable from digest entry point "
+                    f"{chain[0]} via call chain: "
+                    + " -> ".join(chain)
+                    + f"; {site['what']} — determinism-critical "
+                    "paths must stay pure (fix the source, or "
+                    f"pragma allow[{rule}] on this line only if "
+                    "the value provably never enters a digest)"
+                ),
+            }
+    return [found[key] for key in sorted(found)]

@@ -56,7 +56,18 @@ from .partition import (
     partition_digest,
 )
 
-__all__ = ["ParallelDriver", "ParallelResult", "ParallelSimError"]
+__all__ = [
+    "ParallelDriver",
+    "ParallelResult",
+    "ParallelSimError",
+    "TRANSFERABLE_TYPES",
+]
+
+#: Process-boundary contract (CON001): the project types allowed to
+#: cross the worker pipes — cross-exchange messages (window barriers)
+#: and the day config each worker rebuilds its shard from.  Everything
+#: else on the wire is primitives and containers of these.
+TRANSFERABLE_TYPES = (CrossMessage, ExchangeDayConfig)
 
 
 class ParallelSimError(RuntimeError):

@@ -642,7 +642,7 @@ class TestCli:
         result = run_cli(["--json"], cwd=fixture_repo)
         assert result.returncode == 1
         report = json.loads(result.stdout)
-        assert report["schema"] == 1
+        assert report["schema"] == 2
         assert report["counts"] == {"HOT001": 1}
         assert report["baselined"] == 0
         assert report["suppressed"] == 0
@@ -686,12 +686,13 @@ class TestCli:
         result = run_cli(["--root", "does-not-exist"], cwd=tmp_path)
         assert result.returncode == 2
 
-    def test_list_rules_names_all_seven(self, tmp_path):
+    def test_list_rules_names_all_fourteen(self, tmp_path):
         result = run_cli(["--list-rules"], cwd=tmp_path)
         assert result.returncode == 0
         for rule_id in (
             "LINT000", "DET001", "DET002", "DET003", "DET004",
-            "HOT001", "MRG001",
+            "DET101", "DET102", "DET103", "DET104", "DET105",
+            "HOT001", "MRG001", "CON001", "PRO001",
         ):
             assert rule_id in result.stdout
 

@@ -56,24 +56,29 @@ def bar_skip_failure(
     skip_reason: Optional[str],
     cpus: int,
     environ: Optional[Mapping[str, str]] = None,
+    min_cpus: int = MIN_BAR_CPUS,
 ) -> Optional[str]:
     """The hard-failure message for an illegitimate bar skip, or None.
 
     ``skip_reason`` is the harness's ``bar_skipped_reason`` (None means
     the bar was enforced — never a failure).  A skip is legitimate when
-    the machine has fewer than :data:`MIN_BAR_CPUS` usable CPUs, or
-    when ``REPRO_ALLOW_BAR_SKIP`` is set; anything else is a silent
-    enforcement hole and fails the bench.
+    the machine has fewer than ``min_cpus`` usable CPUs, or when
+    ``REPRO_ALLOW_BAR_SKIP`` is set; anything else is a silent
+    enforcement hole and fails the bench.  ``min_cpus`` defaults to
+    the 4-worker threshold; single-process bars (e.g. generation
+    throughput, the table_dump no-regression ratio) pass ``1`` — any
+    machine can run them, so a skip is never legitimate on CPU-count
+    grounds.
     """
     if skip_reason is None:
         return None
     environ = os.environ if environ is None else environ
-    if cpus < MIN_BAR_CPUS:
+    if cpus < min_cpus:
         return None
     if environ.get(ALLOW_ENV):
         return None
     return (
         f"{bar_name} bar skipped ({skip_reason}) on a {cpus}-CPU "
-        f"machine; with >= {MIN_BAR_CPUS} CPUs the bar must be "
+        f"machine; with >= {min_cpus} CPUs the bar must be "
         f"enforced (set {ALLOW_ENV}=1 to waive explicitly)"
     )

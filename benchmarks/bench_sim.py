@@ -29,7 +29,11 @@ on both schedulers with identical seeds:
 For every scenario the two engines must produce *identical* digests
 (event counts, final clocks, and full route/firing state) — the
 timings are only reported once equivalence holds.  The acceptance
-bars: >= 5x events/sec on sync-population, >= 1x on flap-storm.
+bars: >= 5x events/sec on sync-population, >= 1x on flap-storm,
+>= 0.95x (no regression) on table-dump.  The scenario bars are
+single-process, so skipping them (``--smoke`` / ``--no-bar``) is a
+hard failure on any machine unless waived with
+``REPRO_ALLOW_BAR_SKIP=1`` (see ``benchmarks/bar_policy.py``).
 
 The **parallel probe** runs the partitioned multi-exchange day
 (:mod:`repro.sim.parallel`): always a 2-worker digest-parity check
@@ -64,12 +68,14 @@ from repro.sim.scenarios import (
     scenario_table_dump,
 )
 
-#: The differential single-engine scenarios and their speedup bars
-#: (None = record only).
+#: The differential single-engine scenarios and their speedup bars.
+#: table_dump is a no-regression bar: the calendar queue has no
+#: structural edge on its sparse irregular timeline, so holding
+#: >= 0.95x of the heap is the claim (it sat at 0.99x unenforced).
 SCENARIOS = (
     ("sync_population", scenario_sync_population, 5.0),
     ("flap_storm", scenario_flap_storm, 1.0),
-    ("table_dump", scenario_table_dump, None),
+    ("table_dump", scenario_table_dump, 0.95),
 )
 
 try:
@@ -262,8 +268,8 @@ def run_sim_bench(args) -> None:
         "repeats": repeats,
         "timing": "best (minimum) of repeats per engine",
         "bar": ">= 5x events/sec on sync_population, >= 1x on "
-               "flap_storm, digests identical on all scenarios and "
-               "the parallel parity check",
+               "flap_storm, >= 0.95x on table_dump, digests identical "
+               "on all scenarios and the parallel parity check",
         "bar_enforced": bar_enforced,
         "smoke": smoke,
     }
@@ -279,6 +285,18 @@ def run_sim_bench(args) -> None:
     )
     if skip_failure:
         failures.append(skip_failure)
+    if not bar_enforced:
+        # The single-engine scenario bars run in one process — any box
+        # can enforce them, so a skip needs the explicit waiver.
+        scenario_skip_reason = "--smoke" if smoke else "--no-bar"
+        scenario_skip = bar_skip_failure(
+            "single-engine scenario speedups",
+            scenario_skip_reason,
+            parallel["cpus"],
+            min_cpus=1,
+        )
+        if scenario_skip:
+            failures.append(scenario_skip)
     if bar_enforced:
         for name, entry in scenarios.items():
             bar = entry["speedup_bar"]

@@ -6,17 +6,25 @@ columnar tier over the same record stream, verifies the outputs
 agree, and writes ``BENCH_columns.json`` at the repo root.  The
 acceptance bar is a >=10x columnar speedup.
 
-``--campaign`` mode runs the same sharded campaign at 1, 2, and 4
-workers, asserts the merged results are bit-identical, and writes
-per-worker wall-clock + speedups (and the machine's CPU count) to
-``BENCH_campaign.json``.  The >=1.7x speedup-at-4-workers bar is
-enforced whenever the machine has >= 4 CPUs — on fewer cores the pool
-cannot physically beat the inline run, so the file records the honest
-numbers and ``bar_skipped_reason`` says exactly why the bar did not
-apply.  On a >= 4-CPU machine, skipping the bar (``--no-bar``) is a
-*hard failure* unless explicitly waived with ``REPRO_ALLOW_BAR_SKIP=1``
-(see ``benchmarks/bar_policy.py``) — a CI lane cannot silently stop
-enforcing it.
+``--campaign`` mode first times day synthesis itself — the vectorized
+generator against the pre-vectorization reference tier
+(``repro.verify.refgen``), digest-compared day chunk by day chunk,
+with a >=5x single-process bar — then runs the same sharded campaign
+at 1, 2, and 4 workers, asserts the merged results are bit-identical,
+and writes per-worker wall-clock + speedups, the per-phase
+generate/classify/fold breakdown (via the runner's injected clock),
+and the machine's CPU count to ``BENCH_campaign.json``.  The >=1.7x
+speedup-at-4-workers bar is enforced whenever the machine has >= 4
+CPUs — on fewer cores the pool cannot physically beat the inline run,
+so the file records the honest numbers and ``bar_skipped_reason`` says
+exactly why the bar did not apply.  On a >= 4-CPU machine, skipping
+the bar (``--no-bar``) is a *hard failure* unless explicitly waived
+with ``REPRO_ALLOW_BAR_SKIP=1`` (see ``benchmarks/bar_policy.py``) —
+a CI lane cannot silently stop enforcing it.  The generation bar is
+single-process, so its skip needs the waiver on *any* machine.
+``--campaign --smoke`` is the CI parity lane: old-vs-new generation
+digest check plus one phase-timed 1-worker run, no timing bars, no
+RSS probe.
 
 Campaign mode also probes the out-of-core tier: it runs a short and a
 long spilling campaign (``python -m repro campaign --out ...``) in
@@ -273,6 +281,130 @@ def probe_out_of_core(args):
     return payload, failures
 
 
+def _columns_digest(columns) -> str:
+    """Content digest of one generated day: record bytes + the interned
+    attribute bundles in id order (ids are part of the layout)."""
+    import hashlib
+
+    digest = hashlib.sha256(columns.data.tobytes())
+    names = [str(columns.attrs[i]) for i in range(len(columns.attrs))]
+    digest.update(repr(names).encode())
+    return digest.hexdigest()
+
+
+def _generation_pass(config, make_generator):
+    """One full generation sweep over the campaign's shard plan,
+    exactly as ``run_shard`` drives it (per-shard generator, fresh
+    attribute table per day).  Digesting happens off the clock so the
+    timing is pure synthesis.  Returns (seconds, records, digests)."""
+    from repro.core.columns import AttributeTable
+
+    categories = config.category_set()
+    elapsed = 0.0
+    records = 0
+    digests = []
+    for spec in config.shard_plan():
+        generator = make_generator(spec)
+        for day in spec.days:
+            start = time.perf_counter()
+            columns = generator.day_columns(
+                day,
+                pair_fraction=config.pair_fraction,
+                categories=categories,
+                attrs=AttributeTable(),
+            )
+            elapsed += time.perf_counter() - start
+            records += len(columns)
+            digests.append(_columns_digest(columns))
+    return elapsed, records, digests
+
+
+def bench_generation(args, config, cpus):
+    """The vectorized day synthesis vs the pre-vectorization tier
+    (``repro.verify.refgen``), digest-checked day by day.
+
+    The reference is the actual pre-optimization materialization loop
+    — scalar per-record emission plus the O(bins) bin sampler — kept
+    in-tree the way ``sim.refengine`` keeps the heap engine, so the
+    recorded speedup measures this change honestly and reproducibly.
+    Returns (payload, failures).
+    """
+    from repro.verify.refgen import reference_twin
+    from repro.workloads.generator import campaign_generator
+
+    def make_vectorized(spec):
+        return campaign_generator(
+            n_peers=config.n_peers,
+            total_prefixes=config.total_prefixes,
+            population_seed=spec.population_seed,
+            generator_seed=spec.generator_seed,
+        )
+
+    def make_reference(spec):
+        return reference_twin(make_vectorized(spec))
+
+    print("Generation: vectorized day synthesis vs the "
+          "pre-vectorization reference tier")
+    t_ref, records, digests_ref = _generation_pass(config, make_reference)
+    print(f"  reference:  {t_ref:7.2f} s ({records / t_ref:10,.0f} records/s)")
+    t_vec = None
+    for _ in range(args.repeats):
+        elapsed, records_vec, digests_vec = _generation_pass(
+            config, make_vectorized
+        )
+        t_vec = elapsed if t_vec is None else min(t_vec, elapsed)
+    print(f"  vectorized: {t_vec:7.2f} s ({records / t_vec:10,.0f} records/s)")
+
+    failures = []
+    parity = records_vec == records and digests_vec == digests_ref
+    print(f"  digest parity old-vs-new path: {'OK' if parity else 'MISMATCH'} "
+          f"({len(digests_vec)} day chunk(s))")
+    if not parity:
+        failures.append(
+            "vectorized generation output differs from the "
+            "pre-vectorization reference tier"
+        )
+
+    speedup = t_ref / t_vec
+    if args.no_bar:
+        bar_skipped_reason = "--no-bar"
+    elif args.smoke:
+        bar_skipped_reason = "--smoke"
+    else:
+        bar_skipped_reason = None
+    bar_applies = bar_skipped_reason is None
+    print(f"  speedup: {speedup:.2f}x (bar: 5x, "
+          f"{'enforced' if bar_applies else f'skipped: {bar_skipped_reason}'})")
+    if bar_applies and speedup < 5.0:
+        failures.append(
+            f"generation speedup {speedup:.2f}x below the 5x bar"
+        )
+    # Generation is single-process: any box can run this bar, so a
+    # skip needs the explicit waiver regardless of CPU count.
+    skip_failure = bar_skip_failure(
+        "generation 5x", bar_skipped_reason, cpus, min_cpus=1
+    )
+    if skip_failure:
+        failures.append(skip_failure)
+
+    payload = {
+        "records": records,
+        "reference_seconds": round(t_ref, 4),
+        "vectorized_seconds": round(t_vec, 4),
+        "reference_records_per_second": round(records / t_ref),
+        "vectorized_records_per_second": round(records / t_vec),
+        "speedup": round(speedup, 2),
+        "reference": "pre-vectorization scalar tier "
+                     "(repro.verify.refgen.ReferenceTraceGenerator)",
+        "digests_identical": parity,
+        "day_chunks_compared": len(digests_vec),
+        "bar": "5x vectorized vs reference generation",
+        "bar_enforced": bar_applies,
+        "bar_skipped_reason": bar_skipped_reason,
+    }
+    return payload, failures
+
+
 def run_campaign_bench(args) -> None:
     """Same campaign at 1/2/4 workers: identical digests, honest timings."""
     from repro.campaign import CampaignConfig, run_campaign
@@ -289,21 +421,37 @@ def run_campaign_bench(args) -> None:
           f"{config.n_peers} peers x {config.total_prefixes} prefixes "
           f"({cpus} CPU(s) available)")
 
+    generation, failures = bench_generation(args, config, cpus)
+
     timings = {}
+    phases = {}
     digests = {}
     records = 0
-    for workers in (1, 2, 4):
+    worker_counts = (1,) if args.smoke else (1, 2, 4)
+    for workers in worker_counts:
         best = None
+        best_phases = None
         for _ in range(args.repeats):
             start = time.perf_counter()
-            result = run_campaign(config, workers=workers)
+            result = run_campaign(
+                config, workers=workers, clock=time.perf_counter
+            )
             elapsed = time.perf_counter() - start
-            best = elapsed if best is None else min(best, elapsed)
+            if best is None or elapsed < best:
+                best = elapsed
+                best_phases = result.timings
         timings[workers] = best
+        phases[workers] = {
+            name: round(seconds, 4)
+            for name, seconds in best_phases.items()
+        }
         digests[workers] = result.partial.digest()
         records = result.records
         print(f"  {workers} worker(s): {best:.2f} s "
-              f"(digest {digests[workers][:12]})")
+              f"(generate {phases[workers]['generate_seconds']:.2f} / "
+              f"classify {phases[workers]['classify_seconds']:.2f} / "
+              f"fold {phases[workers]['fold_seconds']:.2f}; "
+              f"digest {digests[workers][:12]})")
 
     reference = digests[1]
     assert all(d == reference for d in digests.values()), (
@@ -312,22 +460,26 @@ def run_campaign_bench(args) -> None:
     print(f"All {len(digests)} worker counts bit-identical "
           f"({records:,} records).")
 
-    failures = []
-    speedup_4 = timings[1] / timings[4]
-    if args.no_bar:
+    speedup_4 = None
+    if not args.smoke:
+        speedup_4 = timings[1] / timings[4]
+    if args.smoke:
+        bar_skipped_reason = "--smoke"
+    elif args.no_bar:
         bar_skipped_reason = "--no-bar"
     elif cpus < 4:
         bar_skipped_reason = f"{cpus} CPU(s) < 4"
     else:
         bar_skipped_reason = None
     bar_applies = bar_skipped_reason is None
-    print(f"Speedup at 4 workers: {speedup_4:.2f}x "
-          f"(bar: 1.7x, "
-          f"{'enforced' if bar_applies else f'skipped: {bar_skipped_reason}'})")
-    if bar_applies and speedup_4 < 1.7:
-        failures.append(
-            f"speedup {speedup_4:.2f}x below the 1.7x bar on {cpus} CPUs"
-        )
+    if speedup_4 is not None:
+        print(f"Speedup at 4 workers: {speedup_4:.2f}x "
+              f"(bar: 1.7x, "
+              f"{'enforced' if bar_applies else f'skipped: {bar_skipped_reason}'})")
+        if bar_applies and speedup_4 < 1.7:
+            failures.append(
+                f"speedup {speedup_4:.2f}x below the 1.7x bar on {cpus} CPUs"
+            )
     skip_failure = bar_skip_failure(
         "campaign 1.7x @ 4 workers", bar_skipped_reason, cpus
     )
@@ -335,7 +487,9 @@ def run_campaign_bench(args) -> None:
         failures.append(skip_failure)
 
     out_of_core = None
-    if args.skip_rss:
+    if args.smoke:
+        print("Out-of-core RSS probe skipped (--smoke).")
+    elif args.skip_rss:
         print("Out-of-core RSS probe skipped (--skip-rss).")
     elif not hasattr(os, "wait4"):
         print("Out-of-core RSS probe skipped (no os.wait4 here).")
@@ -354,10 +508,18 @@ def run_campaign_bench(args) -> None:
         "seconds_by_workers": {
             str(w): round(t, 4) for w, t in timings.items()
         },
-        "speedup_2_workers": round(timings[1] / timings[2], 3),
-        "speedup_4_workers": round(speedup_4, 3),
+        "phases_by_workers": {
+            str(w): p for w, p in phases.items()
+        },
+        "speedup_2_workers": (
+            round(timings[1] / timings[2], 3) if 2 in timings else None
+        ),
+        "speedup_4_workers": (
+            round(speedup_4, 3) if speedup_4 is not None else None
+        ),
         "digests_identical": True,
         "digest": reference,
+        "generation": generation,
         "repeats": args.repeats,
         "timing": "best (minimum) of repeats per worker count",
         "bar": "1.7x at 4 workers, enforced only with >= 4 CPUs",
@@ -385,7 +547,10 @@ def main() -> None:
     )
     parser.add_argument(
         "--smoke", action="store_true",
-        help="sim mode: small sizes, one repeat, digest check only",
+        help="sim mode: small sizes, one repeat, digest check only; "
+             "campaign mode: generation old-vs-new digest parity plus "
+             "one phase-timed 1-worker run, no timing bars, no RSS "
+             "probe",
     )
     parser.add_argument("--records", type=int, default=1_000_000)
     parser.add_argument("--days", type=int, default=4,

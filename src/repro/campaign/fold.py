@@ -32,7 +32,7 @@ against a whole-batch reference.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -47,33 +47,59 @@ from ..core.instability import (
 )
 from ..core.taxonomy import FINE_GRAINED_CATEGORIES
 from .config import CampaignConfig, ShardSpec
-from .results import TOTAL, PartialResult, _merge_count_tables, _merge_int_tables
+from .results import (
+    TOTAL,
+    PartialResult,
+    ShardTimings,
+    _merge_count_tables,
+    _merge_int_tables,
+)
 
-__all__ = ["ShardAccumulator", "pairs_per_day"]
+__all__ = ["ShardAccumulator", "ShardTimings", "pairs_per_day"]
 
 #: Per-pair key for the inter-arrival carry: (peer ASN, net, plen).
 PairKey = Tuple[int, int, int]
 
+#: Injected monotonic clock.  The campaign package reads no wall clock
+#: itself (it sits on the golden corpus's digest call graph, DET102);
+#: callers that want phase timings pass ``time.perf_counter`` in.
+Clock = Callable[[], float]
+
 
 def pairs_per_day(columns: RecordColumns) -> Dict[int, int]:
-    """Distinct Prefix+AS pairs per day, via one np.unique over
-    (day, peer ASN, prefix) keys (the Figure 9 'affected routes'
-    numerator, computed shard-locally — days never span shards)."""
-    if len(columns) == 0:
+    """Distinct Prefix+AS pairs per day (the Figure 9 'affected
+    routes' numerator, computed shard-locally — days never span
+    shards).
+
+    Keys are packed into scalar integers and deduplicated with a
+    lexsort + adjacent-diff scan instead of ``np.unique`` over a
+    structured array: structured dtypes fall back to generic
+    compare-based sorting, which dominated shard wall-clock on the
+    bench day.  Prefix net/plen fit one uint64 exactly (32 + 8 bits);
+    day and ASN stay separate sort keys so no width assumption is
+    needed for them.
+    """
+    n = len(columns)
+    if n == 0:
         return {}
-    keys = np.empty(
-        len(columns),
-        dtype=[("day", "i8"), ("asn", "u4"), ("net", "u4"), ("plen", "u1")],
+    day = (columns.time // SECONDS_PER_DAY).astype(np.int64)
+    asn = columns.peer_asn
+    prefix = (columns.net.astype(np.uint64) << np.uint64(8)) | columns.plen
+    order = np.lexsort((prefix, asn, day))
+    day_s = day[order]
+    asn_s = asn[order]
+    prefix_s = prefix[order]
+    new_pair = np.empty(n, dtype=bool)
+    new_pair[0] = True
+    new_pair[1:] = (
+        (day_s[1:] != day_s[:-1])
+        | (asn_s[1:] != asn_s[:-1])
+        | (prefix_s[1:] != prefix_s[:-1])
     )
-    keys["day"] = (columns.time // SECONDS_PER_DAY).astype(np.int64)
-    keys["asn"] = columns.peer_asn
-    keys["net"] = columns.net
-    keys["plen"] = columns.plen
-    unique = np.unique(keys)
-    days, counts = np.unique(unique["day"], return_counts=True)
+    days, counts = np.unique(day_s[new_pair], return_counts=True)
     return {
-        int(day): int(count)
-        for day, count in zip(days.tolist(), counts.tolist())
+        int(d): int(count)
+        for d, count in zip(days.tolist(), counts.tolist())
     }
 
 
@@ -98,12 +124,21 @@ class ShardAccumulator:
         "_by_peer",
         "_by_prefix",
         "_pairs_per_day",
+        "_clock",
+        "timings",
     )
 
-    def __init__(self, config: CampaignConfig, spec: ShardSpec) -> None:
+    def __init__(
+        self,
+        config: CampaignConfig,
+        spec: ShardSpec,
+        clock: Optional[Clock] = None,
+    ) -> None:
         self.config = config
         self.spec = spec
         self.records = 0
+        self._clock = clock
+        self.timings = ShardTimings()
         self._classifier = ColumnClassifier()
         self._counts = CategoryCounts()
         self._bin_counts = np.zeros(
@@ -132,7 +167,12 @@ class ShardAccumulator:
                 f"day {day} outside shard range "
                 f"[{self.spec.day_lo}, {self.spec.day_hi})"
             )
+        clock = self._clock
+        started = clock() if clock is not None else 0.0
         codes, policy = self._classifier.classify(columns)
+        if clock is not None:
+            classified = clock()
+            self.timings.classify += classified - started
         self.records += len(columns)
         self._counts = self._counts + CategoryCounts.from_codes(
             codes, policy
@@ -152,6 +192,8 @@ class ShardAccumulator:
         self._pairs_per_day = _merge_int_tables(
             self._pairs_per_day, pairs_per_day(columns)
         )
+        if clock is not None:
+            self.timings.fold += clock() - classified
 
     def _fold_bins(self, columns: RecordColumns) -> None:
         # The exact whole-shard expression — indices relative to the

@@ -65,6 +65,10 @@ class ShardHandoff:
     chunks: List[dict] = field(default_factory=list)
     shm_name: Optional[str] = None
     inline: Optional[bytes] = None
+    #: Per-phase wall-clock payload (:meth:`ShardTimings.to_payload`)
+    #: when the parent injected a clock; observability only — never
+    #: folded into any digest or manifest.
+    timings: Optional[dict] = None
 
 
 #: Process-boundary contract (CON001): the descriptor is the only
@@ -109,6 +113,7 @@ def publish_partial(
     records: int,
     chunks: List[dict],
     layout: Optional[CampaignLayout],
+    timings: Optional[dict] = None,
 ) -> ShardHandoff:
     """Worker side: persist/stash the payload, return its descriptor."""
     text = canonical_json(payload)
@@ -122,6 +127,7 @@ def publish_partial(
             nbytes=len(text.encode("utf-8")),
             transport="file",
             chunks=chunks,
+            timings=timings,
         )
     blob = text.encode("utf-8")
     shm_name = _publish_shm(blob)
@@ -134,6 +140,7 @@ def publish_partial(
             transport="shm",
             chunks=chunks,
             shm_name=shm_name,
+            timings=timings,
         )
     return ShardHandoff(
         index=spec.index,
@@ -143,6 +150,7 @@ def publish_partial(
         transport="inline",
         chunks=chunks,
         inline=blob,
+        timings=timings,
     )
 
 

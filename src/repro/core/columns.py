@@ -181,6 +181,36 @@ class RecordColumns:
         data = np.array(rows, dtype=RECORD_DTYPE)
         return cls(data, table)
 
+    @classmethod
+    def from_segments(
+        cls,
+        segments: Sequence[np.ndarray],
+        attrs: Optional[AttributeTable] = None,
+    ) -> "RecordColumns":
+        """One batch from :data:`RECORD_DTYPE` segments of a single
+        emission stream, stable-sorted by time.
+
+        The segments must share ``attrs``'s id numbering and arrive in
+        emission order: the stable sort keeps that order for equal
+        timestamps, which is what makes a segment-built batch
+        bit-identical to sorting the row-by-row stream.  The sort key
+        is copied out to a contiguous array and each field gathered
+        separately — on multi-million-row batches that is almost 2x
+        faster than fancy-indexing 22-byte structured rows.
+        """
+        parts = [s for s in segments if len(s)]
+        if not parts:
+            return cls(np.empty(0, dtype=RECORD_DTYPE), attrs)
+        merged = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        time = np.ascontiguousarray(merged["time"])
+        order = np.argsort(time, kind="stable")
+        data = np.empty(len(merged), dtype=RECORD_DTYPE)
+        data["time"] = time[order]
+        for name in RECORD_DTYPE.names:
+            if name != "time":
+                data[name] = np.ascontiguousarray(merged[name])[order]
+        return cls(data, attrs)
+
     @staticmethod
     def concat(batches: Sequence["RecordColumns"]) -> "RecordColumns":
         """Concatenate batches into one (attr ids remapped as needed)."""

@@ -394,7 +394,10 @@ class ModuleContext:
         return ".".join([base] + list(reversed(parts)))
 
     def infer(self, node: Optional[ast.AST]) -> Optional[str]:
-        """Cheap static type: ``"str"``/``"bytes"``/``"set"``/``"dict"``.
+        """Cheap static type: ``"str"``/``"bytes"``/``"set"``/``"dict"``,
+        or ``"tuple[str]"`` for a tuple literal with a provably textual
+        element (tuple hashes mix the element hashes, so one salted
+        element salts the whole tuple).
 
         ``None`` means unknown — rules must treat unknown as innocent.
         """
@@ -412,6 +415,13 @@ class ModuleContext:
             return "set"
         if isinstance(node, (ast.Dict, ast.DictComp)):
             return "dict"
+        if isinstance(node, ast.Tuple):
+            if any(
+                self.infer(element) in ("str", "bytes", "tuple[str]")
+                for element in node.elts
+            ):
+                return "tuple[str]"
+            return None
         if isinstance(node, ast.Name):
             binding = self._lookup(node, node.id)
             if binding is not None and binding[0] == "var":

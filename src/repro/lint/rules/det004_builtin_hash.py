@@ -3,9 +3,11 @@
 ``hash(str)`` and ``hash(bytes)`` are salted per process by
 ``PYTHONHASHSEED`` — two runs of the same program disagree.  Any such
 hash that reaches a persisted artifact, a digest, or (the case this
-repo actually had) an RNG seed silently breaks replay.  Integer and
-int-tuple hashes are value-based and stable, so the rule only fires
-when the argument's static type is provably textual; use
+repo actually had) an RNG seed silently breaks replay.  Tuple hashes
+mix the element hashes, so a tuple literal with a str/bytes element is
+just as salted as the string itself and the rule flags it too.
+Integer and int-tuple hashes are value-based and stable, so the rule
+only fires when the argument's static type is provably textual; use
 ``zlib.crc32`` / ``hashlib`` for a stable text hash instead.
 """
 
@@ -39,4 +41,13 @@ class BuiltinHashRule(Rule):
                     f"hash() of a {inferred} value is salted by "
                     "PYTHONHASHSEED and differs between runs; use "
                     "zlib.crc32/hashlib for a stable hash",
+                )
+            elif inferred == "tuple[str]":
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    "hash() of a tuple with str/bytes elements mixes "
+                    "their PYTHONHASHSEED-salted hashes and differs "
+                    "between runs; hash a canonical encoding with "
+                    "zlib.crc32/hashlib instead",
                 )

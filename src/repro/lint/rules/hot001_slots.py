@@ -16,7 +16,10 @@ campaign tier joins the list: ``repro.core.spill`` (covered via the
 per-shard accumulator state.  The parallel simulator
 (``repro.sim.partition`` / ``repro.sim.parallel`` — cross-exchange
 messages, partitions, shard ports) is covered via the ``repro/sim/``
-prefix.  The rule keeps the discipline from
+prefix, and so is the trace generator (``repro/workloads/`` — pair
+state, day plans, and the emission sinks the vectorized
+materialization tier drives once per pair per day).  The rule keeps
+the discipline from
 silently eroding: every class in those modules
 declares ``__slots__`` directly or via ``@dataclass(slots=True)``.
 Enums, exceptions, and the other interpreter-managed layouts are
@@ -39,7 +42,7 @@ TARGET_SUFFIXES = (
     "campaign/fold.py",
     "campaign/handoff.py",
 )
-TARGET_DIRS = ("repro/core/", "repro/sim/")
+TARGET_DIRS = ("repro/core/", "repro/sim/", "repro/workloads/")
 
 _EXEMPT_BASES = frozenset(
     {

@@ -19,6 +19,10 @@ per-record semantics.  This package makes that claim checkable:
 - :mod:`repro.verify.golden` — the golden corpus: committed traces
   under ``tests/golden/`` with frozen expected outputs, plus the
   regeneration script.
+- :mod:`repro.verify.refgen` — the pre-vectorization trace-generation
+  tier (scalar per-record emission, linear-scan bin sampler), kept
+  verbatim as the differential and timing baseline for the vectorized
+  :meth:`~repro.workloads.generator.TraceGenerator.day_columns` path.
 - :mod:`repro.verify.chaos` — seeded fault injection around
   :func:`~repro.campaign.runner.run_campaign`: kill runs mid-shard,
   corrupt archives/results/manifests, reorder completion, and assert
@@ -61,6 +65,7 @@ from .streams import (
 )
 from .chaos import ChaosReport, run_chaos_campaign
 from .golden import check_golden, write_golden
+from .refgen import ReferenceTraceGenerator, reference_twin
 
 __all__ = [
     "DifferentialMismatch",
@@ -95,4 +100,6 @@ __all__ = [
     "run_chaos_campaign",
     "check_golden",
     "write_golden",
+    "ReferenceTraceGenerator",
+    "reference_twin",
 ]

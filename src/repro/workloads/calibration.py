@@ -13,7 +13,7 @@ from typing import Dict, Tuple
 __all__ = ["PaperConstants", "PAPER"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PaperConstants:
     """Published magnitudes from Labovitz/Malan/Jahanian (1997)."""
 

@@ -65,7 +65,7 @@ HOURLY_PROFILE: Sequence[float] = (
 WEEKDAY_PROFILE: Sequence[float] = (1.0, 1.02, 1.03, 1.02, 1.0, 0.55, 0.50)
 
 
-@dataclass
+@dataclass(slots=True)
 class DiurnalModel:
     """Deterministic usage-intensity function over the campaign.
 

@@ -36,7 +36,9 @@ from __future__ import annotations
 
 import math
 import random
+from bisect import bisect_left
 from dataclasses import dataclass, field
+from itertools import accumulate
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -78,7 +80,7 @@ PLANNED_CATEGORIES = (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class PeerInfo:
     """One exchange-point peer: a provider AS with a table share and
     the Prefix+AS pairs it is responsible for."""
@@ -96,6 +98,8 @@ class PeerPopulation:
     dominate the routing tables (clusters visible in Figure 6a), with a
     long tail of small peers.  Prefix counts are proportional to share.
     """
+
+    __slots__ = ("peers", "by_asn", "all_pairs")
 
     def __init__(self, peers: List[PeerInfo]) -> None:
         self.peers = peers
@@ -148,7 +152,7 @@ class PeerPopulation:
         return len(self.all_pairs)
 
 
-@dataclass
+@dataclass(slots=True)
 class GeneratorTargets:
     """The statistical knobs, defaulted to the paper's findings."""
 
@@ -206,7 +210,7 @@ class GeneratorTargets:
     policy_fluctuation_fraction: float = 0.25
 
 
-@dataclass
+@dataclass(slots=True)
 class DayPlan:
     """Everything decided about one generated day, before any records.
 
@@ -220,6 +224,31 @@ class DayPlan:
     participation: Dict[UpdateCategory, List[Tuple[Pair, int]]]
     bin_weights: List[float]
     lost_bins: Set[int]
+    #: Lazy cache for :meth:`materialization_weights`.
+    _cum: Optional[Tuple[List[float], float]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def materialization_weights(self) -> Tuple[List[float], float]:
+        """The cumulative materialization bin weights (lost bins
+        zeroed) and their total.
+
+        The running sums are built with the same left-to-right float
+        additions :meth:`TraceGenerator._sample_bin`'s scan performed,
+        so a ``bisect`` over them lands on the *identical* bin for any
+        draw — the cache turns per-episode sampling from an O(bins)
+        list rebuild into an O(log bins) lookup without moving a
+        single RNG draw.
+        """
+        cached = self._cum
+        if cached is None:
+            weights = [
+                0.0 if i in self.lost_bins else w
+                for i, w in enumerate(self.bin_weights)
+            ]
+            cached = (list(accumulate(weights)), sum(weights))
+            self._cum = cached
+        return cached
 
     def category_total(self, category: UpdateCategory) -> int:
         """Planned events of ``category`` (before outage losses)."""
@@ -299,10 +328,19 @@ class _RecordSink:
 
 class _ColumnSink:
     """Materialization sink appending primitive columns — no
-    per-record dataclasses are ever constructed."""
+    per-record dataclasses are ever constructed.
+
+    Two ingest paths share one emission stream: scalar ``announce`` /
+    ``withdraw`` calls append to Python lists, while the vectorized
+    WWDup tier hands over whole :data:`RECORD_DTYPE` segments via
+    :meth:`withdraw_block`.  Because WWDup is the *last* planned
+    category, every scalar event precedes every segment in emission
+    order, so ``finish``'s stable time sort resolves equal timestamps
+    exactly as the all-scalar stream did.
+    """
 
     __slots__ = ("times", "peer_ids", "asns", "nets", "plens", "kinds",
-                 "attr_ids", "table")
+                 "attr_ids", "table", "segments")
 
     def __init__(self, table) -> None:
         self.times: List[float] = []
@@ -313,6 +351,7 @@ class _ColumnSink:
         self.kinds: List[int] = []
         self.attr_ids: List[int] = []
         self.table = table
+        self.segments: List[np.ndarray] = []
 
     def announce(self, time, peer_id, asn, prefix, attrs) -> None:
         self._push(time, peer_id, asn, prefix,
@@ -331,22 +370,70 @@ class _ColumnSink:
         self.kinds.append(kind)
         self.attr_ids.append(attr_id)
 
+    def withdraw_block(self, times, peer_ids, asns, nets, plens) -> None:
+        """Append a batch of withdrawals already in emission order."""
+        segment = np.empty(len(times), dtype=RECORD_DTYPE)
+        segment["time"] = times
+        segment["peer_id"] = peer_ids
+        segment["peer_asn"] = asns
+        segment["net"] = nets
+        segment["plen"] = plens
+        segment["kind"] = int(UpdateKind.WITHDRAW)
+        segment["attr_id"] = int(NO_ATTR)
+        self.segments.append(segment)
+
     def finish(self):
-        data = np.empty(len(self.times), dtype=RECORD_DTYPE)
-        data["time"] = self.times
-        data["peer_id"] = self.peer_ids
-        data["peer_asn"] = self.asns
-        data["net"] = self.nets
-        data["plen"] = self.plens
-        data["kind"] = self.kinds
-        data["attr_id"] = self.attr_ids
+        scalar = np.empty(len(self.times), dtype=RECORD_DTYPE)
+        scalar["time"] = self.times
+        scalar["peer_id"] = self.peer_ids
+        scalar["peer_asn"] = self.asns
+        scalar["net"] = self.nets
+        scalar["plen"] = self.plens
+        scalar["kind"] = self.kinds
+        scalar["attr_id"] = self.attr_ids
         # Stable time sort matches the record tier's list.sort().
-        order = np.argsort(data["time"], kind="stable")
-        return RecordColumns(data[order], self.table)
+        return RecordColumns.from_segments(
+            [scalar, *self.segments], self.table
+        )
+
+
+#: Dense-slab cell budget for the vectorized episode expansion: a
+#: (rows × max_len) float64 scratch block stays ≲ 32 MiB.
+_SLAB_CELLS = 1 << 22
+
+
+def _slab_spans(lengths: np.ndarray, start: int, end: int):
+    """Split rows ``[start, end)`` into spans whose dense
+    ``rows × max(length)`` slab fits the cell budget.
+
+    Episode lengths are geometric (mean 3) but a single row may run to
+    thousands of events; recursive halving isolates such outliers so
+    the padded expansion never allocates rows × global-max cells.
+    Yields ``(start, end, width)`` in row order — order preservation is
+    what keeps the flattened emission stream identical.
+    """
+    width = int(lengths[start:end].max())
+    if (end - start) * width > _SLAB_CELLS and end - start > 1:
+        mid = (start + end) // 2
+        yield from _slab_spans(lengths, start, mid)
+        yield from _slab_spans(lengths, mid, end)
+    else:
+        yield start, end, width
 
 
 class TraceGenerator:
     """See module docstring."""
+
+    __slots__ = (
+        "population",
+        "diurnal",
+        "schedule",
+        "targets",
+        "constants",
+        "seed",
+        "_states",
+        "_attr_cache",
+    )
 
     def __init__(
         self,
@@ -586,12 +673,33 @@ class TraceGenerator:
         plan: Optional[DayPlan],
         categories: Optional[Sequence[UpdateCategory]],
         sink,
+        vectorize: bool = True,
     ) -> None:
+        """Drive ``sink`` through one day's emission stream.
+
+        WWDup — the flood category, ~95% of a full day's records — is
+        routed through the vectorized tier when the sink can accept
+        whole segments; every other category (and any plain sink) runs
+        the scalar reference loop.  Both paths consume the *same*
+        ``rng`` draws in the *same* order, so the split is invisible in
+        the output.  ``vectorize=False`` forces the all-scalar path
+        (the parity tests diff the two).
+        """
         plan = plan or self.plan_day(day)
         rng = self._day_rng(day, salt=1)
         wanted = tuple(categories) if categories else PLANNED_CATEGORIES
         for category in PLANNED_CATEGORIES:
             if category not in wanted:
+                continue
+            if (
+                vectorize
+                and category is UpdateCategory.WWDUP
+                and isinstance(sink, _ColumnSink)
+            ):
+                self._emit_wwdup_columns(
+                    rng, plan, plan.participation[category],
+                    pair_fraction, sink,
+                )
                 continue
             for pair, count in plan.participation[category]:
                 if pair_fraction < 1.0 and rng.random() > pair_fraction:
@@ -632,6 +740,11 @@ class TraceGenerator:
         if attrs is not None:
             return attrs
         prefix, asn = pair
+        # DET004 audit: `pair` is (Prefix, int) and Prefix is an int
+        # tuple (network, length) — hash() of ints and int tuples is
+        # value-based, not PYTHONHASHSEED-salted, so these origins are
+        # replay-stable.  tests/test_generator_parity.py proves it
+        # across hash seeds.
         origin = 1000 + (hash(pair) % 4000)
         if variant == 0:
             path = AsPath((asn, origin))
@@ -650,21 +763,19 @@ class TraceGenerator:
         return state
 
     def _sample_bin(self, rng: random.Random, plan: DayPlan) -> Optional[int]:
-        """A bin index drawn ∝ bin weight (lost bins excluded)."""
-        weights = [
-            0.0 if i in plan.lost_bins else w
-            for i, w in enumerate(plan.bin_weights)
-        ]
-        total = sum(weights)
+        """A bin index drawn ∝ bin weight (lost bins excluded).
+
+        ``bisect_left`` over the plan's cached running sums returns the
+        first index whose cumulative weight reaches the draw — the same
+        bin the original linear scan (``acc += w; x <= acc``) stopped
+        at, for the same single ``rng.random()`` draw.
+        """
+        cum, total = plan.materialization_weights()
         if total <= 0:
             return None
         x = rng.random() * total
-        acc = 0.0
-        for i, w in enumerate(weights):
-            acc += w
-            if x <= acc:
-                return i
-        return len(weights) - 1
+        index = bisect_left(cum, x)
+        return index if index < len(cum) else len(cum) - 1
 
     def _episode_period(self, rng: random.Random) -> float:
         """An episode's characteristic period: the Figure 8 mixture.
@@ -788,6 +899,175 @@ class TraceGenerator:
                                  else t)  # PLAIN first
                     withdraw(t)
                 t += period
+
+    def _emit_wwdup_columns(
+        self,
+        rng: random.Random,
+        plan: DayPlan,
+        allocation: List[Tuple[Pair, int]],
+        pair_fraction: float,
+        sink: "_ColumnSink",
+    ) -> None:
+        """WWDup, vectorized: scalar draw-faithful episode *planning*
+        followed by one batched timestamp expansion.
+
+        The planning loop consumes exactly the ``rng.random()`` draws
+        :meth:`_emit_pair_day` would (subsample, geometric episode
+        length, bin, in-bin offset, period, micro-gap — six per
+        episode) and records each episode as a ``(t0, period, length)``
+        row; a pair entering the day reachable contributes a length-1
+        pseudo-episode for its leading PLAIN withdrawal.  Rows then
+        expand to timestamps with ``np.add.accumulate`` — whose
+        sequential partial sums bit-exactly replicate the scalar
+        ``t += period`` walk — and a prefix mask reproduces the
+        midnight cut-off (``t >= day_end`` breaks before emitting, and
+        the accumulated times are strictly increasing).  The masked
+        C-order flatten is the scalar emission order, row by row.
+        """
+        cum, total = plan.materialization_weights()
+        subsample = pair_fraction < 1.0
+        rand = rng.random
+        if total <= 0:
+            # Whole day lost: the scalar path still consumes the
+            # subsample draw and one geometric draw per surviving pair
+            # (the bin sampler bails before drawing), creates the pair
+            # state, and emits nothing.
+            for pair, count in allocation:
+                if subsample and rand() > pair_fraction:
+                    continue
+                self._state(pair)
+                if count > 0:
+                    self._geometric(rng, 1.0 / 3.0)
+            return
+
+        targets = self.targets
+        day_start = plan.day * SECONDS_PER_DAY
+        day_end = day_start + SECONDS_PER_DAY
+        bin_width = SECONDS_PER_DAY / BINS_PER_DAY
+        mass_30 = targets.spacing_30s_mass
+        mass_60 = mass_30 + targets.spacing_60s_mass
+        log_lo = math.log(2.0)
+        log_span = math.log(8 * 3600.0) - log_lo
+        geo_denom = math.log(1.0 - (1.0 / 3.0))
+        n_bins = len(cum)
+        by_asn = self.population.by_asn
+        ceil, log, exp = math.ceil, math.log, math.exp
+
+        # Episode rows (+ lead pseudo-rows), in emission order.
+        t0s: List[float] = []
+        periods: List[float] = []
+        lengths: List[int] = []
+        # One entry per emitting pair block; rows map to blocks.
+        block_rows: List[int] = []
+        block_peer: List[int] = []
+        block_asn: List[int] = []
+        block_net: List[int] = []
+        block_plen: List[int] = []
+        push_t0 = t0s.append
+        push_period = periods.append
+        push_length = lengths.append
+
+        for pair, count in allocation:
+            if subsample and rand() > pair_fraction:
+                continue
+            state = self._state(pair)
+            rows_before = len(t0s)
+            lead = state.reachable
+            remaining = count
+            while remaining > 0:
+                # Inlined _geometric(rng, 1/3): episode burst length.
+                episode = ceil(log(1.0 - rand()) / geo_denom)
+                if episode < 1:
+                    episode = 1
+                if episode > remaining:
+                    episode = remaining
+                remaining -= episode
+                # Inlined _sample_bin over the cached running sums.
+                bin_index = bisect_left(cum, rand() * total)
+                if bin_index == n_bins:
+                    bin_index = n_bins - 1
+                t0 = day_start + (bin_index + rand()) * bin_width
+                # Inlined _episode_period: the Figure 8 mixture.
+                u = rand()
+                if u < mass_30:
+                    period = 29.5 + 1.0 * rand()
+                elif u < mass_60:
+                    period = 58.0 + 4.0 * rand()
+                else:
+                    period = exp(log_lo + log_span * rand())
+                if lead:
+                    # The pair entered the day reachable: its first
+                    # event is preceded by a PLAIN withdrawal at the
+                    # clamped micro-gap offset (the first event always
+                    # lands before midnight, so it always emits).
+                    lead = False
+                    micro_gap = 0.5 + 3.5 * rand()
+                    half = period / 2.0
+                    if micro_gap > half:
+                        micro_gap = half
+                    t_lead = t0 - micro_gap
+                    push_t0(t_lead if t_lead > day_start else t0)
+                    push_period(0.0)
+                    push_length(1)
+                else:
+                    # The micro-gap draw happens every episode in the
+                    # scalar loop; its value only matters on the lead.
+                    rand()
+                push_t0(t0)
+                push_period(period)
+                push_length(episode)
+            rows = len(t0s) - rows_before
+            if rows:
+                state.reachable = False
+                prefix, asn = pair
+                block_rows.append(rows)
+                block_peer.append(by_asn[asn].peer_id)
+                block_asn.append(asn)
+                block_net.append(prefix.network)
+                block_plen.append(prefix.length)
+
+        n_rows = len(t0s)
+        if not n_rows:
+            return
+        t0_arr = np.asarray(t0s, dtype=np.float64)
+        period_arr = np.asarray(periods, dtype=np.float64)
+        length_arr = np.asarray(lengths, dtype=np.int64)
+        times_parts: List[np.ndarray] = []
+        count_parts: List[np.ndarray] = []
+        for start, end, width in _slab_spans(length_arr, 0, n_rows):
+            slab = np.empty((end - start, width), dtype=np.float64)
+            slab[:, 0] = t0_arr[start:end]
+            if width > 1:
+                slab[:, 1:] = period_arr[start:end, None]
+            acc = np.add.accumulate(slab, axis=1)
+            mask = (np.arange(width) < length_arr[start:end, None]) & (
+                acc < day_end
+            )
+            times_parts.append(acc[mask])
+            count_parts.append(np.count_nonzero(mask, axis=1))
+        times = (
+            times_parts[0]
+            if len(times_parts) == 1
+            else np.concatenate(times_parts)
+        )
+        per_row = (
+            count_parts[0]
+            if len(count_parts) == 1
+            else np.concatenate(count_parts)
+        )
+        # Row -> owning block -> per-event metadata, by two repeats.
+        row_block = np.repeat(
+            np.arange(len(block_rows)),
+            np.asarray(block_rows, dtype=np.int64),
+        )
+        owner = np.repeat(row_block, per_row)
+        sink.withdraw_block(
+            times,
+            np.asarray(block_peer, dtype=np.uint32)[owner],
+            np.asarray(block_asn, dtype=np.uint32)[owner],
+            np.asarray(block_net, dtype=np.uint32)[owner],
+            np.asarray(block_plen, dtype=np.uint8)[owner],
+        )
 
     # ------------------------------------------------------------------
     # aggregate tier conveniences

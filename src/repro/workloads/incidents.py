@@ -23,7 +23,7 @@ __all__ = ["Incident", "IncidentSchedule", "default_campaign_schedule"]
 BINS_PER_DAY = 144  # ten-minute aggregation, the paper's Figure 3 unit
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Incident:
     """One scheduled disturbance.
 
@@ -52,6 +52,8 @@ class IncidentSchedule:
     ``multiplier(day, bin)`` is the product of all covering incidents;
     ``lost_bins(day)`` the set of ten-minute bins with no data.
     """
+
+    __slots__ = ("incidents", "_lost")
 
     def __init__(
         self,

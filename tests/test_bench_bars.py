@@ -73,6 +73,29 @@ class TestBarSkipFailure:
             is not None
         )
 
+    def test_single_process_bar_fails_skip_on_any_box(self):
+        # min_cpus=1 bars (generation throughput, table_dump
+        # no-regression) run in one process: no CPU count makes the
+        # skip legitimate.
+        for cpus in (1, 2, 8):
+            failure = bar_policy.bar_skip_failure(
+                "generation 5x", "--smoke", cpus, {}, min_cpus=1
+            )
+            assert failure is not None
+            assert "generation 5x" in failure
+
+    def test_single_process_bar_honors_the_waiver(self):
+        assert (
+            bar_policy.bar_skip_failure(
+                "generation 5x",
+                "--smoke",
+                1,
+                {"REPRO_ALLOW_BAR_SKIP": "1"},
+                min_cpus=1,
+            )
+            is None
+        )
+
 
 class TestHarnessIntegration:
     def _load(self, name):

@@ -295,6 +295,33 @@ class TestDET004BuiltinHash:
         )
         assert findings == []
 
+    def test_flags_tuple_with_textual_element(self, tmp_path):
+        findings = lint_snippets(
+            tmp_path,
+            {
+                "mod.py": """
+                def seed_for(name: str, n: int) -> int:
+                    return hash((name, n)) & 0xFFFF
+                """
+            },
+            rule="DET004",
+        )
+        assert len(findings) == 1
+        assert "tuple" in findings[0].message
+        assert "PYTHONHASHSEED" in findings[0].message
+
+    def test_flags_nested_tuple_with_str_literal(self, tmp_path):
+        findings = lint_snippets(
+            tmp_path,
+            {
+                "mod.py": """
+                salted = hash((1, ("Mae-East", 2)))
+                """
+            },
+            rule="DET004",
+        )
+        assert len(findings) == 1
+
     def test_pragma_suppresses(self, tmp_path):
         findings = lint_snippets(
             tmp_path,
